@@ -1,0 +1,87 @@
+// Command spacesim runs a parallel N-body simulation with the hashed
+// oct-tree code on the modeled Space Simulator cluster and reports
+// conservation diagnostics and modeled performance.
+//
+// Usage:
+//
+//	spacesim [-n 4000] [-procs 16] [-steps 10] [-dt 0.005] [-theta 0.7]
+//	         [-ic plummer|coldsphere] [-karp] [-checkpoint dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"spacesim/internal/core"
+	"spacesim/internal/machine"
+	"spacesim/internal/netsim"
+	"spacesim/internal/pario"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 4000, "number of bodies")
+		procs = flag.Int("procs", 16, "virtual processors (max 294)")
+		steps = flag.Int("steps", 10, "leapfrog steps")
+		dt    = flag.Float64("dt", 0.005, "timestep (N-body units)")
+		theta = flag.Float64("theta", 0.7, "multipole acceptance parameter")
+		eps   = flag.Float64("eps", 0.01, "Plummer softening")
+		ic    = flag.String("ic", "plummer", "initial condition: plummer|coldsphere")
+		karp  = flag.Bool("karp", false, "use the Karp reciprocal sqrt kernel")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+		ckpt  = flag.String("checkpoint", "", "directory for a final striped checkpoint")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var ics []core.Body
+	switch *ic {
+	case "plummer":
+		ics = core.PlummerSphere(rng, *n, 1.0)
+	case "coldsphere":
+		ics = core.ColdSphere(rng, *n, 1.0)
+	default:
+		log.Fatalf("unknown initial condition %q", *ic)
+	}
+
+	cl := machine.SpaceSimulator(netsim.ProfileLAM)
+	res := core.Run(core.RunConfig{
+		Cluster: cl, Procs: *procs, Steps: *steps,
+		Opt: core.Options{
+			Theta: *theta, Eps: *eps, DT: *dt, UseKarp: *karp,
+		},
+		GatherBodies: *ckpt != "",
+	}, ics)
+
+	e0 := res.EnergyHistory[0]
+	eN := res.EnergyHistory[len(res.EnergyHistory)-1]
+	fmt.Printf("%s: %d bodies on %d virtual processors, %d steps\n", cl.Name, *n, *procs, *steps)
+	fmt.Printf("  energy %.6f -> %.6f (drift %.2e)\n", e0.Total(), eN.Total(),
+		abs(eN.Total()-e0.Total())/abs(e0.Total()))
+	fmt.Printf("  interactions %.3g, fetches %d, imbalance %.2f\n",
+		float64(res.Interactions), res.Fetches, res.MaxImbalance)
+	fmt.Printf("  modeled: %.2f s virtual, %.2f Gflop/s aggregate, %.1f Mflops/proc\n",
+		res.ElapsedVirtual, res.Gflops, res.MflopsPerProc)
+	fmt.Printf("  comm: %d messages, %.2f MB\n", res.Comm.Messages, float64(res.Comm.Bytes)/1e6)
+
+	if *ckpt != "" {
+		data := make([]float64, 0, 7*len(res.Bodies))
+		for _, b := range res.Bodies {
+			data = append(data, b.Pos[0], b.Pos[1], b.Pos[2], b.Vel[0], b.Vel[1], b.Vel[2], b.Mass)
+		}
+		path, err := pario.WriteStripe(*ckpt, "snapshot", 0, data)
+		if err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("  checkpoint: %s (%d bodies)\n", path, len(res.Bodies))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module spacesim
+
+go 1.22

@@ -1,0 +1,110 @@
+package cluster
+
+import "math"
+
+// The Section 5 analysis: six years separate Loki (1996) and the Space
+// Simulator (2002) — four Moore's-law doublings (18-month period), a factor
+// of 16. The paper compares component price/performance and application
+// benchmarks against that baseline.
+
+// MooreFactor returns the expected improvement over the given number of
+// years under 18-month doublings.
+func MooreFactor(years float64) float64 {
+	return math.Pow(2, years/1.5)
+}
+
+// ComponentRatios holds the Section 5 component comparisons.
+type ComponentRatios struct {
+	Years float64
+	Moore float64
+	// DiskUSDPerGB1996/2002 and the improvement ratio vs Moore.
+	DiskUSDPerGBOld, DiskUSDPerGBNew float64
+	DiskRatio, DiskVsMoore           float64
+	RAMUSDPerMBOld, RAMUSDPerMBNew   float64
+	RAMRatio, RAMVsMoore             float64
+}
+
+// Components computes the disk and RAM price ratios between two BOMs.
+func Components(old, new BOM, years float64) ComponentRatios {
+	c := ComponentRatios{Years: years, Moore: MooreFactor(years)}
+	c.DiskUSDPerGBOld = old.DiskCostUSD / old.DiskGBPerNode
+	c.DiskUSDPerGBNew = new.DiskCostUSD / new.DiskGBPerNode
+	c.DiskRatio = c.DiskUSDPerGBOld / c.DiskUSDPerGBNew
+	c.DiskVsMoore = c.DiskRatio / c.Moore
+	c.RAMUSDPerMBOld = old.RAMCostUSD / old.RAMMBPerNode
+	c.RAMUSDPerMBNew = new.RAMCostUSD / new.RAMMBPerNode
+	c.RAMRatio = c.RAMUSDPerMBOld / c.RAMUSDPerMBNew
+	c.RAMVsMoore = c.RAMRatio / c.Moore
+	return c
+}
+
+// NPBComparison is one row of the paper's Loki-vs-SS class B 16-processor
+// comparison: measured Mop/s on both machines and the price-adjusted
+// improvement relative to Moore's law.
+type NPBComparison struct {
+	Benchmark            string
+	LokiMops, SSMops     float64
+	Improvement          float64
+	PricePerfVsMoore     float64
+	nodeCostRatio, moore float64
+}
+
+// NPBLokiPaper holds the paper's Loki 16-processor class B figures and the
+// SS counterparts (Section 5).
+var npbLokiPaper = []struct {
+	name     string
+	loki, ss float64
+}{
+	{"BT", 355, 4480},
+	{"SP", 255, 2560},
+	{"LU", 428, 6640},
+	{"MG", 296, 4592},
+}
+
+// NPBComparisons evaluates the Section 5 NPB price/performance table. Each
+// SS processor cost about half a Loki node, so the price/performance
+// improvement is Improvement * costRatio, compared against the factor-16
+// Moore baseline.
+func NPBComparisons() []NPBComparison {
+	ss := SpaceSimulatorBOM()
+	loki := LokiBOM()
+	costRatio := loki.PerNode() / ss.PerNode()
+	moore := MooreFactor(6)
+	out := make([]NPBComparison, 0, len(npbLokiPaper))
+	for _, row := range npbLokiPaper {
+		imp := row.ss / row.loki
+		out = append(out, NPBComparison{
+			Benchmark:        row.name,
+			LokiMops:         row.loki,
+			SSMops:           row.ss,
+			Improvement:      imp,
+			PricePerfVsMoore: imp * costRatio / moore,
+			nodeCostRatio:    costRatio,
+			moore:            moore,
+		})
+	}
+	return out
+}
+
+// TreecodeMoore reproduces the N-body closing argument: Loki 1.28 Gflop/s
+// -> SS 180 Gflop/s is a 140x improvement; the price ratio of 9.4 times the
+// factor-16 Moore baseline predicts 150x — "the overall price/performance
+// improvement ... has not differed much from Moore's Law".
+type TreecodeMooreResult struct {
+	LokiGflops, SSGflops   float64
+	Improvement            float64
+	PriceRatio             float64
+	MoorePrediction        float64
+	ImprovementVsPredicted float64
+}
+
+// TreecodeMoore computes the comparison from the BOMs and the measured
+// treecode rates (Table 6).
+func TreecodeMoore() TreecodeMooreResult {
+	r := TreecodeMooreResult{LokiGflops: 1.28, SSGflops: 180}
+	r.Improvement = r.SSGflops / r.LokiGflops
+	r.PriceRatio = SpaceSimulatorBOM().Total() / LokiBOM().Total()
+	r.MoorePrediction = r.PriceRatio * MooreFactor(6)
+	r.ImprovementVsPredicted = r.Improvement / r.MoorePrediction
+	return r
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/key"
+	"spacesim/internal/machine"
+	"spacesim/internal/mp"
+	"spacesim/internal/netsim"
+	"spacesim/internal/vec"
+)
+
+func testCluster() machine.Cluster {
+	return machine.Cluster{
+		Name:  "test",
+		Nodes: 294,
+		Node:  machine.SpaceSimulatorNode,
+		Net:   netsim.MustNew(netsim.SpaceSimulatorTopology(), netsim.ProfileLAM),
+	}
+}
+
+func TestPlummerSphereProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bodies := PlummerSphere(rng, 2000, 1.0)
+	var m float64
+	var com vec.V3
+	for _, b := range bodies {
+		m += b.Mass
+		com = com.AddScaled(b.Mass, b.Pos)
+	}
+	if math.Abs(m-1) > 1e-12 {
+		t.Fatalf("total mass %v", m)
+	}
+	if com.Norm() > 0.1 {
+		t.Fatalf("com %v too far off center", com)
+	}
+	// Virial check: 2T + U ~ 0 within sampling noise.
+	pos := make([]vec.V3, len(bodies))
+	mass := make([]float64, len(bodies))
+	ke := 0.0
+	for i, b := range bodies {
+		pos[i], mass[i] = b.Pos, b.Mass
+		ke += 0.5 * b.Mass * b.Vel.Norm2()
+	}
+	u := gravity.PotentialEnergy(pos, mass, 0)
+	vr := (2*ke + u) / math.Abs(u)
+	if math.Abs(vr) > 0.15 {
+		t.Fatalf("virial ratio residual %v", vr)
+	}
+}
+
+func TestColdSphereProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bodies := ColdSphere(rng, 1000, 2.0)
+	for _, b := range bodies {
+		if b.Vel.Norm() != 0 {
+			t.Fatal("cold sphere must start at rest")
+		}
+		if b.Pos.Norm() > 2.0 {
+			t.Fatalf("body outside radius: %v", b.Pos)
+		}
+	}
+}
+
+// Decomposition invariants: all bodies preserved, each rank's keys fall in
+// its splitter range, work is balanced.
+func TestDecompose(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		rng := rand.New(rand.NewSource(3))
+		ics := PlummerSphere(rng, 1200, 1.0)
+		counts := make([]int, p)
+		works := make([]float64, p)
+		idsSeen := make([]map[int64]bool, p)
+		mp.Run(testCluster(), p, func(r *mp.Rank) {
+			n := len(ics)
+			lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
+			local := append([]Body(nil), ics[lo:hi]...)
+			bodies, splitters, _, _ := Decompose(r, local)
+			counts[r.ID()] = len(bodies)
+			seen := map[int64]bool{}
+			var w float64
+			for i := range bodies {
+				seen[bodies[i].ID] = true
+				w += bodies[i].Work
+				if i > 0 && bodies[i].Key < bodies[i-1].Key {
+					t.Errorf("rank %d not key-sorted", r.ID())
+				}
+				if Owner(splitters, bodies[i].Key) != r.ID() {
+					t.Errorf("rank %d holds foreign key %v", r.ID(), bodies[i].Key)
+				}
+			}
+			works[r.ID()] = w
+			idsSeen[r.ID()] = seen
+		})
+		total := 0
+		all := map[int64]bool{}
+		for i := 0; i < p; i++ {
+			total += counts[i]
+			for id := range idsSeen[i] {
+				if all[id] {
+					t.Fatalf("p=%d: body %d duplicated", p, id)
+				}
+				all[id] = true
+			}
+		}
+		if total != 1200 {
+			t.Fatalf("p=%d: %d bodies after decompose", p, total)
+		}
+		if p > 1 {
+			mean := 1200.0 / float64(p)
+			for i, c := range counts {
+				if float64(c) < 0.5*mean || float64(c) > 1.8*mean {
+					t.Fatalf("p=%d: rank %d holds %d bodies (mean %.0f)", p, i, c, mean)
+				}
+			}
+		}
+	}
+}
+
+func TestOwner(t *testing.T) {
+	sp := []key.K{100, 200, 300}
+	cases := map[key.K]int{50: 0, 100: 1, 150: 1, 250: 2, 300: 3, 1000: 3}
+	for k, want := range cases {
+		if got := Owner(sp, k); got != want {
+			t.Fatalf("Owner(%d) = %d want %d", k, got, want)
+		}
+	}
+	if Owner(nil, 5) != 0 {
+		t.Fatal("no splitters -> rank 0")
+	}
+}
+
+// The distributed tree force must match direct summation, for several rank
+// counts, on the same body set.
+func TestParallelForcesMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 600
+	ics := PlummerSphere(rng, n, 1.0)
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i, b := range ics {
+		pos[i], mass[i] = b.Pos, b.Mass
+	}
+	eps := 0.02
+	accD, _ := gravity.Direct(pos, mass, eps)
+
+	for _, p := range []int{1, 2, 5, 8} {
+		got := make([]vec.V3, n)
+		opt := Options{Theta: 0.5, Eps: eps}
+		mp.Run(testCluster(), p, func(r *mp.Rank) {
+			lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
+			local := append([]Body(nil), ics[lo:hi]...)
+			bodies, splitters, boxLo, boxSize := Decompose(r, local)
+			dt := BuildDistributed(r, bodies, splitters, boxLo, boxSize, opt)
+			acc, _, _ := dt.ComputeForces(bodies)
+			for i := range bodies {
+				got[bodies[i].ID] = acc[i]
+			}
+		})
+		var sum2, ref2 float64
+		for i := range accD {
+			sum2 += got[i].Sub(accD[i]).Norm2()
+			ref2 += accD[i].Norm2()
+		}
+		rms := math.Sqrt(sum2 / ref2)
+		if rms > 8e-3 {
+			t.Fatalf("p=%d: rms force error vs direct = %g", p, rms)
+		}
+	}
+}
+
+// With theta -> 0 the MAC never accepts a cell, every interaction is
+// body-body, and the result must be exactly direct summation — independent
+// of the rank count and of the domain decomposition.
+func TestForcesRankCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 250
+	ics := ColdSphere(rng, n, 1.0)
+	opt := Options{Theta: 1e-9, Eps: 0.05}
+	force := func(p int) []vec.V3 {
+		out := make([]vec.V3, n)
+		mp.Run(testCluster(), p, func(r *mp.Rank) {
+			lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
+			local := append([]Body(nil), ics[lo:hi]...)
+			bodies, splitters, boxLo, boxSize := Decompose(r, local)
+			dt := BuildDistributed(r, bodies, splitters, boxLo, boxSize, opt)
+			acc, _, _ := dt.ComputeForces(bodies)
+			for i := range bodies {
+				out[bodies[i].ID] = acc[i]
+			}
+		})
+		return out
+	}
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i, b := range ics {
+		pos[i], mass[i] = b.Pos, b.Mass
+	}
+	ref, _ := gravity.Direct(pos, mass, opt.Eps)
+	for _, p := range []int{1, 2, 4, 7} {
+		got := force(p)
+		for i := range ref {
+			if got[i].Sub(ref[i]).Norm() > 1e-9*(1+ref[i].Norm()) {
+				t.Fatalf("p=%d body %d: %v vs %v", p, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Leapfrog on a Plummer sphere in equilibrium: energy drift must be small,
+// momentum conserved.
+func TestRunEnergyConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ics := PlummerSphere(rng, 400, 1.0)
+	res := Run(RunConfig{
+		Cluster: testCluster(), Procs: 4, Steps: 10,
+		Opt: Options{Theta: 0.5, Eps: 0.02, DT: 0.005},
+	}, ics)
+	e0 := res.EnergyHistory[0].Total()
+	p0 := res.EnergyHistory[0].Momentum
+	for s, e := range res.EnergyHistory {
+		drift := math.Abs(e.Total()-e0) / math.Abs(e0)
+		if drift > 2e-3 {
+			t.Fatalf("step %d: energy drift %g", s, drift)
+		}
+		// Tree forces are not exactly pairwise-symmetric, so momentum is
+		// conserved only to the MAC error level.
+		if e.Momentum.Sub(p0).Norm() > 2e-3 {
+			t.Fatalf("step %d: momentum drift %v", s, e.Momentum.Sub(p0))
+		}
+	}
+	if p0.Norm() > 1e-12 {
+		t.Fatalf("initial momentum %v should be zero after COM removal", p0)
+	}
+	if res.Interactions == 0 || res.Flops == 0 || res.Gflops <= 0 {
+		t.Fatalf("missing work accounting: %+v", res)
+	}
+}
+
+// A cold sphere must collapse: potential energy deepens, kinetic rises.
+func TestRunColdCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ics := ColdSphere(rng, 300, 1.0)
+	res := Run(RunConfig{
+		Cluster: testCluster(), Procs: 2, Steps: 8,
+		Opt: Options{Theta: 0.6, Eps: 0.05, DT: 0.02},
+	}, ics)
+	first := res.EnergyHistory[0]
+	last := res.EnergyHistory[len(res.EnergyHistory)-1]
+	if last.Kinetic <= first.Kinetic {
+		t.Fatalf("collapse did not build kinetic energy: %v -> %v", first.Kinetic, last.Kinetic)
+	}
+	if last.Potential >= first.Potential {
+		t.Fatalf("potential did not deepen: %v -> %v", first.Potential, last.Potential)
+	}
+}
+
+func TestRunGatherBodies(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ics := PlummerSphere(rng, 150, 1.0)
+	res := Run(RunConfig{
+		Cluster: testCluster(), Procs: 3, Steps: 1,
+		Opt:          Options{Theta: 0.6, Eps: 0.02, DT: 0.001},
+		GatherBodies: true,
+	}, ics)
+	if len(res.Bodies) != 150 {
+		t.Fatalf("gathered %d bodies", len(res.Bodies))
+	}
+	for i, b := range res.Bodies {
+		if b.ID != int64(i) {
+			t.Fatalf("bodies not sorted by ID at %d", i)
+		}
+	}
+}
+
+// The weighted decomposition must keep the force-work imbalance modest.
+func TestRunLoadBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ics := PlummerSphere(rng, 800, 1.0) // centrally condensed: uneven work
+	res := Run(RunConfig{
+		Cluster: testCluster(), Procs: 4, Steps: 3,
+		Opt: Options{Theta: 0.6, Eps: 0.02, DT: 0.002},
+	}, ics)
+	h := res.ImbalanceHistory
+	if len(h) < 2 {
+		t.Fatalf("imbalance history too short: %v", h)
+	}
+	// After work weights feed back, imbalance must drop and stay modest.
+	last := h[len(h)-1]
+	if last > 1.5 {
+		t.Fatalf("converged work imbalance %.2f too high (history %v)", last, h)
+	}
+	if last > h[0]*1.05 {
+		t.Fatalf("weighted decomposition did not improve balance: %v", h)
+	}
+}
+
+// Remote fetches must occur for p>1 (the latency-hiding machinery is
+// exercised) and stay bounded thanks to caching.
+func TestRemoteFetchesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ics := PlummerSphere(rng, 500, 1.0)
+	res := Run(RunConfig{
+		Cluster: testCluster(), Procs: 4, Steps: 1,
+		Opt: Options{Theta: 0.5, Eps: 0.02, DT: 0.001},
+	}, ics)
+	if res.Fetches == 0 {
+		t.Fatal("no remote fetches on 4 ranks")
+	}
+	if res.Fetches > res.Interactions {
+		t.Fatalf("fetches %d exceed interactions %d: caching broken", res.Fetches, res.Interactions)
+	}
+}
+
+// Virtual-time sanity: a larger rank count at fixed N must not slow the
+// modeled elapsed time absurdly, and per-step flops should match across
+// rank counts (same physics).
+func TestVirtualTimeAndFlopsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ics := PlummerSphere(rng, 600, 1.0)
+	run := func(p int) Result {
+		return Run(RunConfig{
+			Cluster: testCluster(), Procs: p, Steps: 1,
+			Opt: Options{Theta: 0.6, Eps: 0.02, DT: 0.001},
+		}, ics)
+	}
+	r1, r8 := run(1), run(8)
+	// The domain decomposition changes the tree shape (forced boundary
+	// splits, branch-granularity acceptances), so interaction counts are
+	// not bit-identical across rank counts — but they must stay in the
+	// same regime, since the MAC error bound is the same.
+	if ratio := r8.Flops / r1.Flops; ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("flops regime shifted: p=1 %g vs p=8 %g", r1.Flops, r8.Flops)
+	}
+	if r8.ElapsedVirtual <= 0 || r1.ElapsedVirtual <= 0 {
+		t.Fatal("virtual time not advancing")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"spacesim/internal/key"
+	"spacesim/internal/mp"
+	"spacesim/internal/vec"
+)
+
+// bodyWireBytes is the accounted wire size of one body (pos, vel, mass,
+// work, key, id).
+const bodyWireBytes = 96
+
+// globalBox agrees on the bounding cube of all bodies across ranks.
+func globalBox(r *mp.Rank, bodies []Body) (vec.V3, float64) {
+	mn := vec.V3{1e300, 1e300, 1e300}
+	mx := vec.V3{-1e300, -1e300, -1e300}
+	for i := range bodies {
+		mn = vec.Min(mn, bodies[i].Pos)
+		mx = vec.Max(mx, bodies[i].Pos)
+	}
+	lo := r.Allreduce(mn[:], mp.OpMin)
+	hi := r.Allreduce(mx[:], mp.OpMax)
+	mn = vec.V3{lo[0], lo[1], lo[2]}
+	mx = vec.V3{hi[0], hi[1], hi[2]}
+	d := mx.Sub(mn)
+	size := d.MaxAbs()
+	if size <= 0 {
+		size = 1
+	}
+	size *= 1 + 2e-6
+	c := mn.Add(mx).Scale(0.5)
+	return vec.V3{c[0] - size/2, c[1] - size/2, c[2] - size/2}, size
+}
+
+// Decompose implements the paper's domain decomposition: "practically
+// identical to a parallel sorting algorithm, with the modification that the
+// amount of data that ends up in each processor is weighted by the work
+// associated with each item." Bodies are key-labeled in the global box,
+// sample-sorted on keys with work-weighted splitters, exchanged all-to-all,
+// and returned locally sorted. The splitters slice (length P-1) and the box
+// are also returned; rank p owns keys in [splitters[p-1], splitters[p]).
+func Decompose(r *mp.Rank, bodies []Body) (local []Body, splitters []key.K, boxLo vec.V3, boxSize float64) {
+	p := r.Size()
+	boxLo, boxSize = globalBox(r, bodies)
+	for i := range bodies {
+		bodies[i].Key = key.FromPosition(bodies[i].Pos, boxLo, boxSize)
+		if bodies[i].Work <= 0 {
+			bodies[i].Work = 1
+		}
+	}
+	sort.Slice(bodies, func(i, j int) bool { return bodies[i].Key < bodies[j].Key })
+	// Charge the local sort: ~ n log n compares with ~2 words traffic each.
+	n := len(bodies)
+	if n > 1 {
+		cmp := float64(n) * logf(n)
+		r.Charge(2*cmp, 0.5, 16*cmp)
+	}
+
+	if p == 1 {
+		return bodies, nil, boxLo, boxSize
+	}
+
+	// Regular sampling weighted by work: each rank emits s samples at equal
+	// cumulative-work positions, each carrying its work quantum.
+	const samplesPerRank = 32
+	s := samplesPerRank
+	localWork := 0.0
+	for i := range bodies {
+		localWork += bodies[i].Work
+	}
+	type sample struct {
+		k key.K
+		w float64
+	}
+	mySamples := make([]sample, 0, s)
+	if n > 0 {
+		quantum := localWork / float64(s)
+		cum, next := 0.0, quantum/2
+		j := 0
+		for i := range bodies {
+			cum += bodies[i].Work
+			for cum >= next && j < s {
+				mySamples = append(mySamples, sample{k: bodies[i].Key, w: quantum})
+				next += quantum
+				j++
+			}
+		}
+	}
+	gathered := r.AllgatherAny(mySamples, int64(16*len(mySamples)))
+	var all []sample
+	for _, g := range gathered {
+		all = append(all, g.([]sample)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	totalWork := 0.0
+	for _, sm := range all {
+		totalWork += sm.w
+	}
+	// Splitters at equal cumulative weight.
+	splitters = make([]key.K, 0, p-1)
+	target := totalWork / float64(p)
+	cum := 0.0
+	for _, sm := range all {
+		cum += sm.w
+		for cum >= target*float64(len(splitters)+1) && len(splitters) < p-1 {
+			splitters = append(splitters, sm.k)
+		}
+	}
+	for len(splitters) < p-1 {
+		// Degenerate sample set: pad with max key so trailing ranks get
+		// (possibly empty) tail ranges.
+		splitters = append(splitters, ^key.K(0))
+	}
+
+	// Bin bodies by destination rank and exchange.
+	chunks := make([]any, p)
+	sizes := make([]int64, p)
+	bins := make([][]Body, p)
+	dst := 0
+	for i := range bodies {
+		for dst < p-1 && bodies[i].Key >= splitters[dst] {
+			dst++
+		}
+		bins[dst] = append(bins[dst], bodies[i])
+	}
+	for d := 0; d < p; d++ {
+		chunks[d] = bins[d]
+		sizes[d] = int64(len(bins[d]) * bodyWireBytes)
+	}
+	recv := r.AlltoallAny(chunks, sizes)
+	local = local[:0]
+	for _, c := range recv {
+		if c != nil {
+			local = append(local, c.([]Body)...)
+		}
+	}
+	sort.Slice(local, func(i, j int) bool { return local[i].Key < local[j].Key })
+	if m := len(local); m > 1 {
+		cmp := float64(m) * logf(m)
+		r.Charge(2*cmp, 0.5, 16*cmp)
+	}
+	return local, splitters, boxLo, boxSize
+}
+
+// Owner returns the rank owning a key under the given splitters.
+func Owner(splitters []key.K, k key.K) int {
+	// first splitter > k determines the rank
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k >= splitters[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func logf(n int) float64 {
+	l := 0.0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sort"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/htree"
+	"spacesim/internal/key"
+	"spacesim/internal/mp"
+	"spacesim/internal/vec"
+)
+
+// The distributed tree. Each rank owns a contiguous Morton-key range and
+// builds a local oct-tree over it. Cells entirely inside one rank's range
+// are "complete"; the maximal complete cells ("branch" cells) tile key
+// space and are replicated everywhere together with the "fill" cells built
+// above them by combining multipoles — so every rank can start a traversal
+// at the root with globally correct moments. Opening a remote branch (or
+// its descendants) requires the owner's data, fetched through the ABM
+// layer using the global key name space: "a hash table is used in order to
+// translate the key into a pointer ... this level of indirection can also
+// be used to catch accesses to non-local data" (Section 4.2).
+
+// cellInfo is the replicated metadata of a non-local (or fill) cell.
+type cellInfo struct {
+	Key       key.K
+	Mp        gravity.Multipole
+	Bmax      float64
+	N         int
+	Leaf      bool
+	ChildMask uint8
+	Owner     int // owning rank; -1 for fill cells (global knowledge)
+}
+
+// cellInfoWireBytes is the accounted wire size of one cellInfo.
+const cellInfoWireBytes = 104
+
+// fetchReply answers an expansion request for one remote cell.
+type fetchReply struct {
+	Children []cellInfo       // for internal cells
+	Bodies   []gravity.Source // for leaf cells
+}
+
+// hFetch is the ABM handler id for cell-expansion requests.
+const hFetch = 1
+
+// DTree is the per-rank view of the distributed tree.
+type DTree struct {
+	r   *mp.Rank
+	abm *mp.ABM
+	opt Options
+
+	boxLo     vec.V3
+	boxSize   float64
+	splitters []key.K
+
+	local  *htree.Tree        // may be nil when the rank holds no bodies
+	remote map[key.K]cellInfo // fills + replicated branches + fetched cells
+
+	// bodyCache holds fetched remote leaf bodies by cell key.
+	bodyCache map[key.K][]gravity.Source
+
+	// fetching tracks in-flight expansion requests: key -> walkers waiting.
+	fetching map[key.K][]*walker
+
+	// counters
+	fetches int64
+}
+
+// BuildDistributed constructs the per-rank tree over the (already
+// decomposed, key-sorted) local bodies, and performs the branch exchange.
+func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3, boxSize float64, opt Options) *DTree {
+	opt = opt.withDefaults()
+	dt := &DTree{
+		r: r, opt: opt,
+		boxLo: boxLo, boxSize: boxSize,
+		splitters: splitters,
+		remote:    map[key.K]cellInfo{},
+		fetching:  map[key.K][]*walker{},
+	}
+	dt.abm = mp.NewABM(r)
+	dt.abm.Handle(hFetch, dt.serveFetch)
+
+	if len(bodies) > 0 {
+		pos := make([]vec.V3, len(bodies))
+		mass := make([]float64, len(bodies))
+		for i := range bodies {
+			pos[i] = bodies[i].Pos
+			mass[i] = bodies[i].Mass
+		}
+		tr, err := htree.Build(pos, mass, htree.Options{
+			MaxLeaf: opt.MaxLeaf, BoxLo: boxLo, BoxSize: boxSize,
+			// Split domain-straddling cells so every leaf is complete and
+			// the branch cells exactly tile this rank's key range.
+			ForceSplit: func(k key.K) bool { return !dt.complete(k) },
+		})
+		if err != nil {
+			panic("core: local tree build: " + err.Error())
+		}
+		dt.local = tr
+		// Charge tree construction: key generation + sort happened in
+		// Decompose; the build itself is ~O(n log n) light work.
+		n := float64(len(bodies))
+		r.Charge(30*n, 0.4, 120*n)
+	}
+
+	dt.exchangeBranches()
+	return dt
+}
+
+// keyRange returns this rank's key interval [lo, hi); hi==0 means +inf.
+func (dt *DTree) keyRange() (lo, hi key.K) {
+	p := dt.r.ID()
+	if len(dt.splitters) == 0 {
+		return 0, 0
+	}
+	if p > 0 {
+		lo = dt.splitters[p-1]
+	}
+	if p < len(dt.splitters) {
+		hi = dt.splitters[p]
+	}
+	return lo, hi
+}
+
+// complete reports whether cell k lies entirely within this rank's range.
+func (dt *DTree) complete(k key.K) bool {
+	if dt.r.Size() == 1 {
+		return true
+	}
+	clo, chi := k.BodyKeyRange()
+	rlo, rhi := dt.keyRange()
+	if clo < rlo {
+		return false
+	}
+	if rhi == 0 { // owner range extends to the top of key space
+		return true
+	}
+	if chi <= clo { // cell range wraps: extends to the top of key space
+		return false
+	}
+	return chi <= rhi
+}
+
+// branches returns this rank's maximal complete cells.
+func (dt *DTree) branches() []cellInfo {
+	if dt.local == nil {
+		return nil
+	}
+	var out []cellInfo
+	var walk func(k key.K)
+	walk = func(k key.K) {
+		c, ok := dt.local.Cell(k)
+		if !ok {
+			return
+		}
+		if dt.complete(k) {
+			out = append(out, cellInfo{
+				Key: k, Mp: c.Mp, Bmax: c.Bmax, N: c.N,
+				Leaf: c.Leaf, ChildMask: c.ChildMask, Owner: dt.r.ID(),
+			})
+			return
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				walk(k.Child(oct))
+			}
+		}
+	}
+	walk(key.Root)
+	return out
+}
+
+// exchangeBranches replicates every rank's branch cells and builds the
+// fill cells above them, so the top of the tree is globally consistent.
+func (dt *DTree) exchangeBranches() {
+	mine := dt.branches()
+	gathered := dt.r.AllgatherAny(mine, int64(len(mine)*cellInfoWireBytes))
+	var all []cellInfo
+	for _, g := range gathered {
+		if g != nil {
+			all = append(all, g.([]cellInfo)...)
+		}
+	}
+	for _, c := range all {
+		dt.remote[c.Key] = c
+	}
+	// Build fills bottom-up, deepest levels first.
+	sort.Slice(all, func(i, j int) bool { return all[i].Key.Level() > all[j].Key.Level() })
+	type agg struct {
+		parts []cellInfo
+		mask  uint8
+	}
+	pend := map[key.K]*agg{}
+	addChild := func(c cellInfo) {
+		if c.Key == key.Root {
+			return
+		}
+		pk := c.Key.Parent()
+		a := pend[pk]
+		if a == nil {
+			a = &agg{}
+			pend[pk] = a
+		}
+		a.parts = append(a.parts, c)
+		a.mask |= 1 << uint(c.Key.Octant())
+	}
+	for _, c := range all {
+		addChild(c)
+	}
+	// Collapse pending parents level by level.
+	for len(pend) > 0 {
+		// deepest pending parent level
+		deepest := -1
+		for k := range pend {
+			if l := k.Level(); l > deepest {
+				deepest = l
+			}
+		}
+		next := map[key.K]*agg{}
+		for k, a := range pend {
+			if k.Level() != deepest {
+				// Merge with any aggregate already propagated to this key
+				// (map iteration order must not matter).
+				if ex := next[k]; ex != nil {
+					ex.parts = append(ex.parts, a.parts...)
+					ex.mask |= a.mask
+				} else {
+					next[k] = a
+				}
+				continue
+			}
+			mps := make([]gravity.Multipole, len(a.parts))
+			n := 0
+			for i, p := range a.parts {
+				mps[i] = p.Mp
+				n += p.N
+			}
+			mp0 := gravity.Combine(mps...)
+			bmax := 0.0
+			for _, p := range a.parts {
+				if b := p.COMDist(mp0.COM) + p.Bmax; b > bmax {
+					bmax = b
+				}
+			}
+			fill := cellInfo{Key: k, Mp: mp0, Bmax: bmax, N: n, ChildMask: a.mask, Owner: -1}
+			dt.remote[k] = fill
+			if k != key.Root {
+				// propagate upward
+				pk := k.Parent()
+				pa := next[pk]
+				if pa == nil {
+					pa = &agg{}
+					next[pk] = pa
+				}
+				pa.parts = append(pa.parts, fill)
+				pa.mask |= 1 << uint(k.Octant())
+			}
+		}
+		pend = next
+	}
+}
+
+// COMDist returns the distance from this cell's center of mass to p.
+func (c cellInfo) COMDist(p vec.V3) float64 { return c.Mp.COM.Dist(p) }
+
+// serveFetch answers an expansion request: children of an internal cell,
+// or the bodies of a leaf.
+func (dt *DTree) serveFetch(src int, req any) (any, int64) {
+	k := req.(key.K)
+	if dt.local == nil {
+		panic("core: fetch request on rank without a tree")
+	}
+	c, ok := dt.local.Cell(k)
+	if !ok {
+		panic("core: fetch request for unknown cell " + k.String())
+	}
+	if c.Leaf {
+		bodies := dt.local.LeafBodies(c)
+		return fetchReply{Bodies: bodies}, int64(32 * len(bodies))
+	}
+	var children []cellInfo
+	for oct := 0; oct < 8; oct++ {
+		if c.ChildMask&(1<<uint(oct)) == 0 {
+			continue
+		}
+		ck := k.Child(oct)
+		cc, ok := dt.local.Cell(ck)
+		if !ok {
+			panic("core: childmask/hash mismatch")
+		}
+		children = append(children, cellInfo{
+			Key: ck, Mp: cc.Mp, Bmax: cc.Bmax, N: cc.N,
+			Leaf: cc.Leaf, ChildMask: cc.ChildMask, Owner: dt.r.ID(),
+		})
+	}
+	return fetchReply{Children: children}, int64(cellInfoWireBytes * len(children))
+}
+
+// Fetches returns the number of remote expansion requests issued.
+func (dt *DTree) Fetches() int64 { return dt.fetches }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"spacesim/internal/machine"
+	"spacesim/internal/mp"
+	"spacesim/internal/vec"
+)
+
+// Result summarizes a parallel simulation run.
+type Result struct {
+	Steps int
+	// EnergyHistory holds the conservation diagnostics after every step
+	// (index 0 is the initial state).
+	EnergyHistory []Energies
+	// Interactions and Flops total the force-evaluation work across ranks.
+	Interactions int64
+	Flops        float64
+	// ElapsedVirtual is the modeled wall-clock time; Gflops the modeled
+	// aggregate application rate (the Table 6 quantity).
+	ElapsedVirtual float64
+	Gflops         float64
+	MflopsPerProc  float64
+	// Fetches counts remote-cell expansion requests.
+	Fetches int64
+	// MaxImbalance is the max over force phases of (max rank work / mean);
+	// ImbalanceHistory holds the per-evaluation values (the first entry is
+	// the count-balanced decomposition, before work weights feed back).
+	MaxImbalance     float64
+	ImbalanceHistory []float64
+	// Bodies is the gathered final state (sorted by ID) when requested.
+	Bodies []Body
+	// Comm are the message-layer statistics.
+	Comm mp.Stats
+}
+
+// RunConfig couples the cluster model and run controls.
+type RunConfig struct {
+	Cluster machine.Cluster
+	Procs   int
+	Steps   int
+	Opt     Options
+	// GatherBodies returns the final particle state in Result.Bodies.
+	GatherBodies bool
+}
+
+// Run executes a parallel N-body simulation of the given bodies. The input
+// slice is treated as the global initial condition; it is scattered
+// block-wise, rebalanced by the weighted decomposition every step, and
+// integrated with kick-drift-kick leapfrog.
+func Run(cfg RunConfig, ics []Body) Result {
+	opt := cfg.Opt.withDefaults()
+	res := Result{Steps: cfg.Steps}
+	energyAt := make([]Energies, cfg.Steps+1)
+	var totalInts, totalFetches int64
+	var totalFlops float64
+	var imbHist []float64
+	var gathered []Body
+
+	st := mp.Run(cfg.Cluster, cfg.Procs, func(r *mp.Rank) {
+		// Block scatter of the initial conditions.
+		n, p := len(ics), r.Size()
+		lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
+		local := append([]Body(nil), ics[lo:hi]...)
+
+		eval := func() ([]Body, []vec.V3, []float64, TraversalStats) {
+			bodies, splitters, boxLo, boxSize := Decompose(r, local)
+			dt := BuildDistributed(r, bodies, splitters, boxLo, boxSize, opt)
+			acc, pot, ts := dt.ComputeForces(bodies)
+			// Feed each body's interaction count back as its decomposition
+			// weight — "the amount of data that ends up in each processor is
+			// weighted by the work associated with each item."
+			for i := range bodies {
+				bodies[i].Work = ts.PerBody[i]
+			}
+			return bodies, acc, pot, ts
+		}
+
+		var acc []vec.V3
+		var pot []float64
+		var ts TraversalStats
+		local, acc, pot, ts = eval()
+		recordStats(r, ts, &totalInts, &totalFlops, &totalFetches, &imbHist)
+		if e := diagnostics(r, local, pot); r.ID() == 0 {
+			energyAt[0] = e
+		}
+
+		for s := 0; s < cfg.Steps; s++ {
+			// kick half, drift
+			for i := range local {
+				local[i].Vel = local[i].Vel.AddScaled(opt.DT/2, acc[i])
+				local[i].Pos = local[i].Pos.AddScaled(opt.DT, local[i].Vel)
+			}
+			r.Charge(float64(12*len(local)), 0.5, float64(96*len(local)))
+			local, acc, pot, ts = eval()
+			for i := range local {
+				local[i].Vel = local[i].Vel.AddScaled(opt.DT/2, acc[i])
+			}
+			r.Charge(float64(6*len(local)), 0.5, float64(48*len(local)))
+			recordStats(r, ts, &totalInts, &totalFlops, &totalFetches, &imbHist)
+			if e := diagnostics(r, local, pot); r.ID() == 0 {
+				energyAt[s+1] = e
+			}
+		}
+
+		if cfg.GatherBodies {
+			parts := r.AllgatherAny(local, int64(len(local)*bodyWireBytes))
+			if r.ID() == 0 {
+				var all []Body
+				for _, pt := range parts {
+					all = append(all, pt.([]Body)...)
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+				gathered = all
+			}
+		}
+	})
+
+	res.EnergyHistory = energyAt
+	res.Interactions = totalInts
+	res.Flops = totalFlops
+	res.Fetches = totalFetches
+	res.ImbalanceHistory = imbHist
+	for _, v := range imbHist {
+		if v > res.MaxImbalance {
+			res.MaxImbalance = v
+		}
+	}
+	res.Bodies = gathered
+	res.Comm = st
+	res.ElapsedVirtual = st.ElapsedVirtual
+	if st.ElapsedVirtual > 0 {
+		res.Gflops = totalFlops / st.ElapsedVirtual / 1e9
+		res.MflopsPerProc = totalFlops / st.ElapsedVirtual / 1e6 / float64(cfg.Procs)
+	}
+	return res
+}
+
+// recordStats folds one rank's traversal stats into the shared totals.
+// Writes are rank-parallel, so reduce through the communication layer and
+// let rank 0 publish (all ranks write the same reduced values).
+func recordStats(r *mp.Rank, ts TraversalStats, ints *int64, flops *float64, fetches *int64, imbHist *[]float64) {
+	sums := r.Allreduce([]float64{
+		float64(ts.BodyInteractions + ts.CellInteractions),
+		ts.Flops,
+		float64(ts.Fetches),
+	}, mp.OpSum)
+	maxWork := r.AllreduceScalar(ts.Flops, mp.OpMax)
+	if r.ID() == 0 {
+		*ints += int64(sums[0])
+		*flops += sums[1]
+		*fetches += int64(sums[2])
+		mean := sums[1] / float64(r.Size())
+		if mean > 0 {
+			*imbHist = append(*imbHist, maxWork/mean)
+		}
+	}
+}
+
+// diagnostics reduces the conservation quantities. The potential from the
+// tree counts each pair twice (once per body), so U = sum(m*pot)/2.
+func diagnostics(r *mp.Rank, local []Body, pot []float64) Energies {
+	var ke, pe float64
+	var mom, ang vec.V3
+	for i := range local {
+		m := local[i].Mass
+		ke += 0.5 * m * local[i].Vel.Norm2()
+		pe += 0.5 * m * pot[i]
+		mom = mom.AddScaled(m, local[i].Vel)
+		ang = ang.Add(local[i].Pos.Cross(local[i].Vel).Scale(m))
+	}
+	out := r.Allreduce([]float64{ke, pe, mom[0], mom[1], mom[2], ang[0], ang[1], ang[2]}, mp.OpSum)
+	return Energies{
+		Kinetic:   out[0],
+		Potential: out[1],
+		Momentum:  vec.V3{out[2], out[3], out[4]},
+		AngMom:    vec.V3{out[5], out[6], out[7]},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

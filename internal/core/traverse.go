@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/htree"
+	"spacesim/internal/key"
+	"spacesim/internal/vec"
+)
+
+// The latency-hiding traversal (Section 4.2): "to avoid stalls during
+// non-local data access, we effectively do explicit context switching using
+// a software queue to keep track of which computations have been put aside
+// waiting for messages to arrive."
+//
+// Each local body is a walker with its own stack of pending cell keys. When
+// a walker needs a non-local cell that is not yet cached, the expansion
+// request is batched through the ABM layer, the walker's blocked count is
+// incremented, and the engine moves on to other walkers. Responses re-enable
+// walkers through their continuations.
+
+// cellFlops is the accounted flop cost of one cell-body (quadrupole)
+// interaction; body-body interactions cost gravity.KernelFlops.
+const cellFlops = 70
+
+// walker is one body's suspended traversal state.
+type walker struct {
+	idx     int // local body index
+	p       vec.V3
+	acc     vec.V3
+	pot     float64
+	stack   []key.K
+	blocked int
+	done    bool
+	work    int64 // interactions charged to this body
+}
+
+// TraversalStats aggregates the work of a force evaluation on one rank.
+type TraversalStats struct {
+	BodyInteractions int64
+	CellInteractions int64
+	Fetches          int64
+	Flops            float64
+	// PerBody is the interaction count of each local body, the work weight
+	// fed back into the next domain decomposition.
+	PerBody []float64
+}
+
+// ComputeForces evaluates the gravitational field at every local body using
+// the distributed tree, returning accelerations, potentials and work stats.
+// All ranks must call it collectively (it quiesces the ABM traffic).
+func (dt *DTree) ComputeForces(bodies []Body) ([]vec.V3, []float64, TraversalStats) {
+	eps2 := dt.opt.Eps * dt.opt.Eps
+	acc := make([]vec.V3, len(bodies))
+	pot := make([]float64, len(bodies))
+	var st TraversalStats
+	st.PerBody = make([]float64, len(bodies))
+
+	walkers := make([]*walker, len(bodies))
+	runnable := make([]*walker, 0, len(bodies))
+	for i := range bodies {
+		w := &walker{idx: i, p: bodies[i].Pos, stack: []key.K{key.Root}}
+		walkers[i] = w
+		runnable = append(runnable, w)
+	}
+	remaining := len(walkers)
+
+	// chargeBatch converts interaction counts accumulated since the last
+	// charge into virtual compute time.
+	var lastBody, lastCell int64
+	charge := func() {
+		db := st.BodyInteractions - lastBody
+		dc := st.CellInteractions - lastCell
+		if db == 0 && dc == 0 {
+			return
+		}
+		flops := float64(db)*gravity.KernelFlops + float64(dc)*cellFlops
+		st.Flops += flops
+		dt.r.Charge(flops, dt.opt.KernelEff, float64(db+dc)*32)
+		lastBody, lastCell = st.BodyInteractions, st.CellInteractions
+	}
+
+	finish := func(w *walker) {
+		if !w.done && len(w.stack) == 0 && w.blocked == 0 {
+			w.done = true
+			acc[w.idx] = w.acc
+			pot[w.idx] = w.pot
+			st.PerBody[w.idx] = float64(w.work)
+			remaining--
+		}
+	}
+
+	// resume is called by fetch continuations to hand data to walkers.
+	resume := func(w *walker, reply fetchReply, k key.K) {
+		w.blocked--
+		if reply.Bodies != nil {
+			dt.interactBodies(w, reply.Bodies, eps2, &st)
+		} else {
+			for _, c := range reply.Children {
+				w.stack = append(w.stack, c.Key)
+			}
+		}
+		if !w.done && w.blocked >= 0 {
+			runnable = append(runnable, w)
+		}
+	}
+
+	fetch := func(w *walker, k key.K, owner int) {
+		w.blocked++
+		waiters, inFlight := dt.fetching[k]
+		dt.fetching[k] = append(waiters, w)
+		if inFlight {
+			return
+		}
+		st.Fetches++
+		dt.fetches++
+		dt.abm.Request(owner, hFetch, k, 8, func(resp any) {
+			reply := resp.(fetchReply)
+			// Cache so future walkers don't re-fetch.
+			if reply.Bodies != nil {
+				info := dt.remote[k]
+				info.Leaf = true
+				dt.remote[k] = info
+				dt.bodiesCacheSet(k, reply.Bodies)
+			} else {
+				for _, c := range reply.Children {
+					dt.remote[c.Key] = c
+				}
+			}
+			ws := dt.fetching[k]
+			delete(dt.fetching, k)
+			for _, waiting := range ws {
+				resume(waiting, reply, k)
+			}
+		})
+	}
+
+	for remaining > 0 {
+		if len(runnable) == 0 {
+			dt.abm.FlushAll()
+			dt.abm.Poll()
+			// finish any walkers whose last fetch just resolved
+			for _, w := range walkers {
+				finish(w)
+			}
+			continue
+		}
+		w := runnable[len(runnable)-1]
+		runnable = runnable[:len(runnable)-1]
+		if w.done {
+			continue
+		}
+		dt.runWalker(w, eps2, &st, fetch)
+		finish(w)
+		charge()
+		dt.abm.Poll()
+	}
+	charge()
+	dt.abm.Quiesce()
+	return acc, pot, st
+}
+
+// runWalker drains the walker's stack as far as possible without waiting.
+func (dt *DTree) runWalker(w *walker, eps2 float64, st *TraversalStats, fetch func(*walker, key.K, int)) {
+	theta := dt.opt.Theta
+	for len(w.stack) > 0 {
+		k := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		info, ok := dt.remote[k]
+		if !ok {
+			panic("core: traversal reached unknown cell " + k.String())
+		}
+		if info.Owner == dt.r.ID() {
+			dt.walkLocal(w, k, eps2, st)
+			continue
+		}
+		d := info.Mp.COM.Dist(w.p)
+		if htree.AcceptMAC(d, info.Bmax, theta) {
+			a, p := info.Mp.AccelAt(w.p, dt.opt.Eps)
+			w.acc = w.acc.Add(a)
+			w.pot += p
+			st.CellInteractions++
+			w.work++
+			continue
+		}
+		if info.Owner == -1 {
+			// Fill cell: children are replicated, push them directly.
+			for oct := 0; oct < 8; oct++ {
+				if info.ChildMask&(1<<uint(oct)) != 0 {
+					w.stack = append(w.stack, k.Child(oct))
+				}
+			}
+			continue
+		}
+		// Remote cell that must be opened.
+		if info.Leaf {
+			if src, ok := dt.bodiesCacheGet(k); ok {
+				dt.interactBodies(w, src, eps2, st)
+				continue
+			}
+			fetch(w, k, info.Owner)
+			continue
+		}
+		// Internal: use cached children when all are present.
+		all := true
+		for oct := 0; oct < 8; oct++ {
+			if info.ChildMask&(1<<uint(oct)) != 0 {
+				if _, ok := dt.remote[k.Child(oct)]; !ok {
+					all = false
+					break
+				}
+			}
+		}
+		if all && info.ChildMask != 0 {
+			for oct := 0; oct < 8; oct++ {
+				if info.ChildMask&(1<<uint(oct)) != 0 {
+					w.stack = append(w.stack, k.Child(oct))
+				}
+			}
+			continue
+		}
+		fetch(w, k, info.Owner)
+	}
+}
+
+// walkLocal traverses a fully local subtree without hash misses.
+func (dt *DTree) walkLocal(w *walker, root key.K, eps2 float64, st *TraversalStats) {
+	theta := dt.opt.Theta
+	useKarp := dt.opt.UseKarp
+	stack := []key.K{root}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c, ok := dt.local.Cell(k)
+		if !ok {
+			panic("core: local walk missed cell")
+		}
+		d := c.Mp.COM.Dist(w.p)
+		if !c.Leaf && htree.AcceptMAC(d, c.Bmax, theta) {
+			a, p := c.Mp.AccelAt(w.p, dt.opt.Eps)
+			w.acc = w.acc.Add(a)
+			w.pot += p
+			st.CellInteractions++
+			w.work++
+			continue
+		}
+		if c.Leaf {
+			for i := c.Lo; i < c.Hi; i++ {
+				b := &dt.local.Bodies[i]
+				dv := b.Pos.Sub(w.p)
+				r2 := dv.Norm2()
+				if r2 == 0 {
+					continue
+				}
+				r2 += eps2
+				var rinv float64
+				if useKarp {
+					rinv = gravity.KarpRsqrt(r2)
+				} else {
+					rinv = 1 / math.Sqrt(r2)
+				}
+				rinv3 := rinv * rinv * rinv
+				w.acc = w.acc.AddScaled(b.Mass*rinv3, dv)
+				w.pot -= b.Mass * rinv
+				st.BodyInteractions++
+				w.work++
+			}
+			continue
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				stack = append(stack, k.Child(oct))
+			}
+		}
+	}
+}
+
+// interactBodies applies direct interactions from fetched remote bodies.
+func (dt *DTree) interactBodies(w *walker, src []gravity.Source, eps2 float64, st *TraversalStats) {
+	var a vec.V3
+	var p float64
+	if dt.opt.UseKarp {
+		a, p = gravity.KernelKarp(w.p, src, eps2)
+	} else {
+		a, p = gravity.KernelLibm(w.p, src, eps2)
+	}
+	w.acc = w.acc.Add(a)
+	w.pot += p
+	st.BodyInteractions += int64(len(src))
+	w.work += int64(len(src))
+}
+
+// bodiesCache holds fetched remote leaf bodies keyed by cell.
+func (dt *DTree) bodiesCacheSet(k key.K, src []gravity.Source) {
+	if dt.bodyCache == nil {
+		dt.bodyCache = map[key.K][]gravity.Source{}
+	}
+	dt.bodyCache[k] = src
+}
+
+func (dt *DTree) bodiesCacheGet(k key.K) ([]gravity.Source, bool) {
+	src, ok := dt.bodyCache[k]
+	return src, ok
+}

@@ -1,0 +1,180 @@
+package cosmo
+
+import (
+	"math"
+	"math/rand"
+
+	"spacesim/internal/core"
+	"spacesim/internal/fft"
+	"spacesim/internal/vec"
+)
+
+// ICOptions configures the Zel'dovich initial conditions.
+type ICOptions struct {
+	// GridN is the particle lattice (and FFT grid) edge; N = GridN^3
+	// particles.
+	GridN int
+	// BoxMpch is the comoving box edge in Mpc/h (Figure 7: 125 Mpc).
+	BoxMpch float64
+	// AStart is the starting expansion factor.
+	AStart float64
+	Seed   int64
+}
+
+// ICs is the generated initial condition set.
+type ICs struct {
+	Cosmo  Cosmology
+	Opt    ICOptions
+	Bodies []core.Body
+	// Delta is the realized linear density contrast on the grid at AStart
+	// (kept for spectral validation).
+	Delta []float64
+}
+
+// GenerateICs realizes a Gaussian random field with the cosmology's linear
+// power spectrum, computes Zel'dovich displacements psi (grad of the
+// displacement potential), and places GridN^3 unit-lattice particles with
+// positions x = q + D(a) psi(q) and the growing-mode velocities
+// v = a H(a) f(a) D(a) psi (comoving peculiar convention).
+func GenerateICs(c Cosmology, opt ICOptions) *ICs {
+	n := opt.GridN
+	ntot := n * n * n
+	l := opt.BoxMpch
+	vol := l * l * l
+	rng := rand.New(rand.NewSource(opt.Seed))
+	amp := c.Normalization()
+	growth := c.GrowthFactor(opt.AStart)
+
+	// delta_k with Hermitian symmetry via generating delta(x) white noise
+	// then coloring in k-space: simpler and exactly symmetric.
+	grid := make([]complex128, ntot)
+	for i := range grid {
+		grid[i] = complex(rng.NormFloat64(), 0)
+	}
+	fft.Transform3D(grid, n, false)
+	// color: multiply by sqrt(P(k) * ntot / vol): discrete convention such
+	// that <|delta_k|^2> = P(k) * ntot^2 / vol for the un-normalized DFT.
+	kf := 2 * math.Pi / l
+	kidx := func(i int) float64 {
+		if i <= n/2 {
+			return float64(i)
+		}
+		return float64(i - n)
+	}
+	psiX := make([]complex128, ntot)
+	psiY := make([]complex128, ntot)
+	psiZ := make([]complex128, ntot)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				i := (z*n+y)*n + x
+				kx, ky, kz := kf*kidx(x), kf*kidx(y), kf*kidx(z)
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 {
+					grid[i] = 0
+					continue
+				}
+				k := math.Sqrt(k2)
+				pk := amp * c.powerUnnorm(k)
+				scale := math.Sqrt(pk * float64(ntot) / vol)
+				grid[i] *= complex(scale, 0)
+				// Zel'dovich: psi_k = -i k/k^2 delta_k  (psi = -grad phi,
+				// del^2 phi = delta)
+				f := grid[i] * complex(0, -1) / complex(k2, 0)
+				psiX[i] = f * complex(kx, 0)
+				psiY[i] = f * complex(ky, 0)
+				psiZ[i] = f * complex(kz, 0)
+			}
+		}
+	}
+	// back to real space
+	deltaC := append([]complex128(nil), grid...)
+	fft.Transform3D(deltaC, n, true)
+	fft.Transform3D(psiX, n, true)
+	fft.Transform3D(psiY, n, true)
+	fft.Transform3D(psiZ, n, true)
+
+	delta := make([]float64, ntot)
+	for i := range delta {
+		delta[i] = real(deltaC[i]) * growth
+	}
+
+	// particles on the lattice, displaced
+	bodies := make([]core.Body, 0, ntot)
+	cell := l / float64(n)
+	hub := c.H0 * 100 * c.E(opt.AStart) // km/s/Mpc units (h folded in)
+	f := c.GrowthRate(opt.AStart)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				i := (z*n+y)*n + x
+				psi := vec.V3{real(psiX[i]), real(psiY[i]), real(psiZ[i])}
+				q := vec.V3{(float64(x) + 0.5) * cell, (float64(y) + 0.5) * cell, (float64(z) + 0.5) * cell}
+				pos := q.AddScaled(growth, psi)
+				// periodic wrap
+				for cidx := 0; cidx < 3; cidx++ {
+					for pos[cidx] < 0 {
+						pos[cidx] += l
+					}
+					for pos[cidx] >= l {
+						pos[cidx] -= l
+					}
+				}
+				vel := psi.Scale(opt.AStart * hub * f * growth)
+				bodies = append(bodies, core.Body{
+					Pos: pos, Vel: vel, Mass: 1.0 / float64(ntot), ID: int64(i),
+				})
+			}
+		}
+	}
+	return &ICs{Cosmo: c, Opt: opt, Bodies: bodies, Delta: delta}
+}
+
+// MeasurePower band-averages |delta_k|^2 of a real grid field into nbins
+// spherical k-bins, returning bin centers (h/Mpc) and P(k) estimates in
+// (Mpc/h)^3.
+func MeasurePower(delta []float64, n int, box float64, nbins int) (k []float64, pk []float64) {
+	grid := make([]complex128, len(delta))
+	for i, v := range delta {
+		grid[i] = complex(v, 0)
+	}
+	fft.Transform3D(grid, n, false)
+	kf := 2 * math.Pi / box
+	kny := kf * float64(n) / 2
+	sum := make([]float64, nbins)
+	cnt := make([]float64, nbins)
+	kidx := func(i int) float64 {
+		if i <= n/2 {
+			return float64(i)
+		}
+		return float64(i - n)
+	}
+	ntot := float64(n * n * n)
+	vol := box * box * box
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				i := (z*n+y)*n + x
+				kk := kf * math.Sqrt(kidx(x)*kidx(x)+kidx(y)*kidx(y)+kidx(z)*kidx(z))
+				if kk <= 0 || kk >= kny {
+					continue
+				}
+				b := int(kk / kny * float64(nbins))
+				if b >= nbins {
+					continue
+				}
+				m := grid[i]
+				p := (real(m)*real(m) + imag(m)*imag(m)) * vol / (ntot * ntot)
+				sum[b] += p
+				cnt[b]++
+			}
+		}
+	}
+	for b := 0; b < nbins; b++ {
+		if cnt[b] > 0 {
+			k = append(k, (float64(b)+0.5)/float64(nbins)*kny)
+			pk = append(pk, sum[b]/cnt[b])
+		}
+	}
+	return k, pk
+}

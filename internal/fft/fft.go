@@ -1,0 +1,90 @@
+// Package fft provides the radix-2 complex FFT shared by the NPB FT
+// benchmark and the cosmological initial-condition generator.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Transform performs an in-place radix-2 Cooley-Tukey transform of a
+// power-of-two-length complex vector; inverse=true applies the conjugate
+// transform including the 1/n scale.
+func Transform(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("fft: length must be a power of two")
+	}
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// Transform3D applies the transform along all three axes of an n^3 grid
+// stored as [z][y][x] row-major.
+func Transform3D(a []complex128, n int, inverse bool) {
+	if len(a) != n*n*n {
+		panic("fft: grid size mismatch")
+	}
+	row := make([]complex128, n)
+	// x direction (contiguous)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			Transform(a[(z*n+y)*n:(z*n+y)*n+n], inverse)
+		}
+	}
+	// y direction
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				row[y] = a[(z*n+y)*n+x]
+			}
+			Transform(row, inverse)
+			for y := 0; y < n; y++ {
+				a[(z*n+y)*n+x] = row[y]
+			}
+		}
+	}
+	// z direction
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				row[z] = a[(z*n+y)*n+x]
+			}
+			Transform(row, inverse)
+			for z := 0; z < n; z++ {
+				a[(z*n+y)*n+x] = row[z]
+			}
+		}
+	}
+}

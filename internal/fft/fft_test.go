@@ -1,0 +1,95 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 16, 64} {
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				want[k] += a[j] * cmplx.Rect(1, -2*math.Pi*float64(k*j)/float64(n))
+			}
+		}
+		got := append([]complex128(nil), a...)
+		Transform(got, false)
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+				t.Fatalf("n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestTransformRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform(make([]complex128, 3), false)
+}
+
+// Parseval: sum |x|^2 = (1/n) sum |X|^2.
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		a := make([]complex128, n)
+		var tx float64
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			tx += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		}
+		Transform(a, false)
+		var tf float64
+		for _, v := range a {
+			tf += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tx-tf/float64(n)) < 1e-9*tx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransform3DRoundTripAndDelta(t *testing.T) {
+	n := 8
+	a := make([]complex128, n*n*n)
+	// delta function at origin -> flat spectrum of 1s
+	a[0] = 1
+	Transform3D(a, n, false)
+	for i, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta spectrum not flat at %d: %v", i, v)
+		}
+	}
+	Transform3D(a, n, true)
+	if cmplx.Abs(a[0]-1) > 1e-12 {
+		t.Fatal("roundtrip lost the delta")
+	}
+	for i := 1; i < len(a); i++ {
+		if cmplx.Abs(a[i]) > 1e-12 {
+			t.Fatalf("roundtrip leaked to %d", i)
+		}
+	}
+}
+
+func TestTransform3DSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform3D(make([]complex128, 10), 4, false)
+}

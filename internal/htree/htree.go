@@ -1,0 +1,367 @@
+// Package htree implements the Hashed Oct-Tree (HOT) of Warren & Salmon:
+// bodies are labeled with Morton keys (package key), cells are addressed by
+// their key through a hash table, and the tree topology is implicit in the
+// key arithmetic. The level of indirection through the hash table is what
+// lets the parallel code (package core) catch accesses to non-local cells
+// and request them from other processors by global key name.
+package htree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/key"
+	"spacesim/internal/vec"
+)
+
+// Cell is one node of the oct-tree: either an internal cell with daughter
+// cells, or a leaf holding a contiguous run of the key-sorted body array.
+type Cell struct {
+	Key key.K
+	// Mp is the truncated multipole expansion of everything below the cell.
+	Mp gravity.Multipole
+	// N is the number of bodies below the cell.
+	N int
+	// Bmax is the maximum distance from the center of mass to any body in
+	// the cell, used by the multipole acceptance criterion.
+	Bmax float64
+	// Leaf marks a bucket; Lo/Hi is its body index range (half-open).
+	Leaf   bool
+	Lo, Hi int
+	// ChildMask has bit i set when daughter octant i exists.
+	ChildMask uint8
+}
+
+// Body is a particle in tree order.
+type Body struct {
+	Pos  vec.V3
+	Mass float64
+	Key  key.K
+	// ID is the caller's original index, tracked through the key sort.
+	ID int
+}
+
+// Tree is the hashed oct-tree over a body set.
+type Tree struct {
+	// BoxLo and BoxSize define the root cell cube.
+	BoxLo   vec.V3
+	BoxSize float64
+	// Bodies are sorted by key; leaf cells reference ranges of this slice.
+	Bodies []Body
+	// MaxLeaf is the bucket size: cells with at most this many bodies are
+	// not subdivided.
+	MaxLeaf int
+
+	forceSplit func(k key.K) bool
+	cells      map[key.K]*Cell
+}
+
+// Options configures tree construction.
+type Options struct {
+	// MaxLeaf is the bucket size (default 8).
+	MaxLeaf int
+	// BoxLo/BoxSize fix the root cube; when BoxSize is zero the bounding
+	// cube of the bodies (slightly padded) is used.
+	BoxLo   vec.V3
+	BoxSize float64
+	// ForceSplit, when non-nil, forces subdivision of any cell for which it
+	// returns true, even below the bucket size (subject to MaxLevel). The
+	// parallel code uses it to split cells straddling domain boundaries so
+	// that every leaf is complete within one processor's key range.
+	ForceSplit func(k key.K) bool
+}
+
+// Build constructs the tree for the given positions and masses.
+func Build(pos []vec.V3, mass []float64, opt Options) (*Tree, error) {
+	if len(pos) != len(mass) {
+		return nil, fmt.Errorf("htree: %d positions but %d masses", len(pos), len(mass))
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("htree: empty body set")
+	}
+	if opt.MaxLeaf <= 0 {
+		opt.MaxLeaf = 8
+	}
+	lo, size := opt.BoxLo, opt.BoxSize
+	if size == 0 {
+		lo, size = BoundingCube(pos)
+	}
+	t := &Tree{
+		BoxLo:      lo,
+		BoxSize:    size,
+		MaxLeaf:    opt.MaxLeaf,
+		forceSplit: opt.ForceSplit,
+		cells:      make(map[key.K]*Cell, 2*len(pos)/opt.MaxLeaf+16),
+	}
+	t.Bodies = make([]Body, len(pos))
+	for i := range pos {
+		t.Bodies[i] = Body{Pos: pos[i], Mass: mass[i], Key: key.FromPosition(pos[i], lo, size), ID: i}
+	}
+	sort.Slice(t.Bodies, func(i, j int) bool { return t.Bodies[i].Key < t.Bodies[j].Key })
+	t.build(key.Root, 0, len(t.Bodies))
+	return t, nil
+}
+
+// BoundingCube returns a cube enclosing all positions, padded by 1e-6 of
+// its edge so boundary points stay strictly inside.
+func BoundingCube(pos []vec.V3) (lo vec.V3, size float64) {
+	mn, mx := pos[0], pos[0]
+	for _, p := range pos[1:] {
+		mn = vec.Min(mn, p)
+		mx = vec.Max(mx, p)
+	}
+	d := mx.Sub(mn)
+	size = d.MaxAbs()
+	if size == 0 {
+		size = 1
+	}
+	size *= 1 + 2e-6
+	// center the cube on the data
+	c := mn.Add(mx).Scale(0.5)
+	lo = vec.V3{c[0] - size/2, c[1] - size/2, c[2] - size/2}
+	return lo, size
+}
+
+// build recursively constructs the cell for k covering Bodies[lo:hi].
+func (t *Tree) build(k key.K, lo, hi int) *Cell {
+	c := &Cell{Key: k, N: hi - lo}
+	t.cells[k] = c
+	mustSplit := t.forceSplit != nil && t.forceSplit(k) && k.Level() < key.MaxLevel
+	if (hi-lo <= t.MaxLeaf || k.Level() >= key.MaxLevel) && !mustSplit {
+		c.Leaf = true
+		c.Lo, c.Hi = lo, hi
+		pos := make([]vec.V3, hi-lo)
+		mass := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			pos[i-lo] = t.Bodies[i].Pos
+			mass[i-lo] = t.Bodies[i].Mass
+		}
+		c.Mp = gravity.FromBodies(pos, mass)
+		c.Bmax = maxDist(c.Mp.COM, pos)
+		return c
+	}
+	// Partition the sorted range by daughter key ranges.
+	start := lo
+	var parts []gravity.Multipole
+	for oct := 0; oct < 8; oct++ {
+		ck := k.Child(oct)
+		loKey, hiKey := ck.BodyKeyRange()
+		var end int
+		if hiKey <= loKey {
+			// The range's upper bound overflowed 64 bits: ck is the
+			// rightmost cell of its level, so it takes everything left.
+			end = hi
+		} else {
+			// end = first body with key >= hiKey
+			end = start + sort.Search(hi-start, func(i int) bool {
+				return t.Bodies[start+i].Key >= hiKey
+			})
+		}
+		if end > start {
+			child := t.build(ck, start, end)
+			c.ChildMask |= 1 << uint(oct)
+			parts = append(parts, child.Mp)
+		}
+		start = end
+	}
+	c.Mp = gravity.Combine(parts...)
+	// Bmax over all bodies below (exact, from the contiguous range).
+	bm := 0.0
+	for i := lo; i < hi; i++ {
+		if d := t.Bodies[i].Pos.Dist(c.Mp.COM); d > bm {
+			bm = d
+		}
+	}
+	c.Bmax = bm
+	return c
+}
+
+func maxDist(from vec.V3, pos []vec.V3) float64 {
+	m := 0.0
+	for _, p := range pos {
+		if d := p.Dist(from); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Cell returns the cell stored under k, if any — the hash-table lookup at
+// the heart of the HOT scheme.
+func (t *Tree) Cell(k key.K) (*Cell, bool) {
+	c, ok := t.cells[k]
+	return c, ok
+}
+
+// Root returns the root cell.
+func (t *Tree) Root() *Cell {
+	c, ok := t.cells[key.Root]
+	if !ok {
+		panic("htree: tree has no root")
+	}
+	return c
+}
+
+// NumCells returns the number of cells in the hash table.
+func (t *Tree) NumCells() int { return len(t.cells) }
+
+// LeafBodies returns the bodies of a leaf cell as kernel sources.
+func (t *Tree) LeafBodies(c *Cell) []gravity.Source {
+	src := make([]gravity.Source, 0, c.Hi-c.Lo)
+	for i := c.Lo; i < c.Hi; i++ {
+		src = append(src, gravity.Source{Pos: t.Bodies[i].Pos, Mass: t.Bodies[i].Mass})
+	}
+	return src
+}
+
+// WalkStats counts the work of one force evaluation.
+type WalkStats struct {
+	CellInteractions int
+	BodyInteractions int
+	CellsOpened      int
+}
+
+// AcceptMAC is the multipole acceptance criterion: a cell of size s whose
+// center of mass lies at distance d from the sink may be accepted when
+// d > s/theta + bmax-correction. We use the Salmon-Warren style criterion
+// d > bmax/theta which bounds the worst-case error by the true body
+// distribution rather than the geometric cell size.
+func AcceptMAC(d, bmax, theta float64) bool {
+	return d > bmax/theta && d > 0
+}
+
+// Accel evaluates the gravitational field at p by tree traversal with
+// opening parameter theta and Plummer softening eps. Bodies exactly at p
+// (self-interaction) are skipped. useKarp selects the reciprocal-sqrt
+// variant for leaf interactions.
+func (t *Tree) Accel(p vec.V3, theta, eps float64, useKarp bool) (vec.V3, float64, WalkStats) {
+	var acc vec.V3
+	var pot float64
+	var st WalkStats
+	eps2 := eps * eps
+
+	stack := []key.K{key.Root}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := t.cells[k]
+		d := p.Dist(c.Mp.COM)
+		if !c.Leaf && AcceptMAC(d, c.Bmax, theta) {
+			a, ph := c.Mp.AccelAt(p, eps)
+			acc = acc.Add(a)
+			pot += ph
+			st.CellInteractions++
+			continue
+		}
+		if c.Leaf {
+			for i := c.Lo; i < c.Hi; i++ {
+				b := &t.Bodies[i]
+				dv := b.Pos.Sub(p)
+				r2 := dv.Norm2()
+				if r2 == 0 {
+					continue // self
+				}
+				r2 += eps2
+				var rinv float64
+				if useKarp {
+					rinv = gravity.KarpRsqrt(r2)
+				} else {
+					rinv = 1 / math.Sqrt(r2)
+				}
+				rinv3 := rinv * rinv * rinv
+				acc = acc.AddScaled(b.Mass*rinv3, dv)
+				pot -= b.Mass * rinv
+				st.BodyInteractions++
+			}
+			continue
+		}
+		st.CellsOpened++
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				stack = append(stack, k.Child(oct))
+			}
+		}
+	}
+	return acc, pot, st
+}
+
+// AccelAll evaluates the field at every body, returning accelerations and
+// potentials indexed by the original body IDs, plus aggregate walk stats.
+func (t *Tree) AccelAll(theta, eps float64, useKarp bool) ([]vec.V3, []float64, WalkStats) {
+	n := len(t.Bodies)
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+	var total WalkStats
+	for i := range t.Bodies {
+		a, p, st := t.Accel(t.Bodies[i].Pos, theta, eps, useKarp)
+		acc[t.Bodies[i].ID] = a
+		pot[t.Bodies[i].ID] = p
+		total.CellInteractions += st.CellInteractions
+		total.BodyInteractions += st.BodyInteractions
+		total.CellsOpened += st.CellsOpened
+	}
+	return acc, pot, total
+}
+
+// CheckInvariants verifies structural invariants, returning the first
+// violation found: every body in exactly one leaf, leaf ranges partition
+// the body array, multipole masses match, and child masks are consistent
+// with the hash table.
+func (t *Tree) CheckInvariants() error {
+	root := t.Root()
+	if root.N != len(t.Bodies) {
+		return fmt.Errorf("root N = %d, want %d", root.N, len(t.Bodies))
+	}
+	covered := 0
+	var walk func(k key.K) error
+	walk = func(k key.K) error {
+		c, ok := t.cells[k]
+		if !ok {
+			return fmt.Errorf("missing cell %v", k)
+		}
+		if c.Leaf {
+			if c.Hi < c.Lo {
+				return fmt.Errorf("leaf %v inverted range", k)
+			}
+			covered += c.Hi - c.Lo
+			for i := c.Lo; i < c.Hi; i++ {
+				if !k.Contains(t.Bodies[i].Key) {
+					return fmt.Errorf("body %d key %v outside leaf %v", i, t.Bodies[i].Key, k)
+				}
+			}
+			return nil
+		}
+		sum := 0
+		var mass float64
+		for oct := 0; oct < 8; oct++ {
+			has := c.ChildMask&(1<<uint(oct)) != 0
+			child, inMap := t.cells[k.Child(oct)]
+			if has != inMap {
+				return fmt.Errorf("cell %v childmask/hash mismatch at octant %d", k, oct)
+			}
+			if has {
+				if err := walk(k.Child(oct)); err != nil {
+					return err
+				}
+				sum += child.N
+				mass += child.Mp.M
+			}
+		}
+		if sum != c.N {
+			return fmt.Errorf("cell %v N=%d but children sum %d", k, c.N, sum)
+		}
+		if math.Abs(mass-c.Mp.M) > 1e-9*(1+math.Abs(c.Mp.M)) {
+			return fmt.Errorf("cell %v mass %v but children sum %v", k, c.Mp.M, mass)
+		}
+		return nil
+	}
+	if err := walk(key.Root); err != nil {
+		return err
+	}
+	if covered != len(t.Bodies) {
+		return fmt.Errorf("leaves cover %d of %d bodies", covered, len(t.Bodies))
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package machine
+
+import "spacesim/internal/netsim"
+
+// Cluster couples a node model, a node count, and a network model — enough
+// for the virtual-time message-passing layer to charge both computation and
+// communication.
+type Cluster struct {
+	Name    string
+	Nodes   int
+	Node    Node
+	Net     *netsim.Network
+	CostUSD float64
+}
+
+// PeakFlops returns the aggregate theoretical peak.
+func (c Cluster) PeakFlops() float64 { return float64(c.Nodes) * c.Node.PeakFlops }
+
+// DollarsPerMflops returns price/performance against a measured aggregate
+// rate in flop/s — the paper's headline metric (63.9 cents per Mflop/s for
+// Linpack on the SS).
+func (c Cluster) DollarsPerMflops(measuredFlops float64) float64 {
+	return c.CostUSD / (measuredFlops / 1e6)
+}
+
+// SpaceSimulator returns the full 294-node cluster with the given library
+// profile (the paper used MPICH for the first Linpack run and LAM for the
+// improved one).
+func SpaceSimulator(p netsim.Profile) Cluster {
+	return Cluster{
+		Name:    "Space Simulator",
+		Nodes:   294,
+		Node:    SpaceSimulatorNode,
+		Net:     netsim.MustNew(netsim.SpaceSimulatorTopology(), p),
+		CostUSD: 483855,
+	}
+}
+
+// Loki returns the 1996 16-node Pentium Pro cluster of Table 7.
+func Loki() Cluster {
+	return Cluster{
+		Name:  "Loki",
+		Nodes: 16,
+		Node:  LokiNode,
+		Net: netsim.MustNew(netsim.LokiTopology(), netsim.Profile{
+			Name: "MPICH/Fast Ethernet", LatencySec: 120e-6, PeakBps: 88e6,
+		}),
+		CostUSD: 51379,
+	}
+}
+
+// ASCIQ returns a 1024-processor slice of the ASCI Q system (Alpha EV68 +
+// Quadrics) used as the paper's comparison machine in Tables 3, 4 and 6.
+func ASCIQ() Cluster {
+	topo := netsim.Topology{
+		Nodes:           1024,
+		PortsPerModule:  64,
+		ModulesSwitchA:  16,
+		ModuleUplinkBps: 2.6e9 * 64, // fat tree: no module bottleneck to speak of
+		TrunkBps:        2.6e9 * 512,
+		NICBps:          2.6e9, // Quadrics Elan3 ~340 MB/s
+		Efficiency:      0.9,
+	}
+	prof := netsim.Profile{Name: "Quadrics Elan3", LatencySec: 5e-6, PeakBps: 2.6e9}
+	return Cluster{
+		Name:    "ASCI Q (1024-proc slice)",
+		Nodes:   1024,
+		Node:    ASCIQNode,
+		Net:     netsim.MustNew(topo, prof),
+		CostUSD: 0, // not priced in the paper
+	}
+}
+
+// TreecodeMachine is one row of the historical treecode table (Table 6):
+// the modeled per-processor gravity-kernel rate and the fraction of it the
+// full parallel treecode sustains (tree build, traversal overhead, and
+// network efficiency combined).
+type TreecodeMachine struct {
+	Year  int
+	Site  string
+	Name  string
+	Procs int
+	// KernelMflops is the per-processor gravity micro-kernel rate (Karp
+	// variant where the port used it); entries present in Table 5 use the
+	// CPU model, others are modeled from clock and FPU character.
+	KernelMflops float64
+	// TreecodeEff is the sustained fraction of the kernel rate for the
+	// full application on this machine's network.
+	TreecodeEff float64
+	// PaperGflops and PaperMflopsPerProc are the measured values.
+	PaperGflops        float64
+	PaperMflopsPerProc float64
+}
+
+// Gflops returns the modeled aggregate treecode rate.
+func (m TreecodeMachine) Gflops() float64 {
+	return float64(m.Procs) * m.KernelMflops * m.TreecodeEff / 1e3
+}
+
+// MflopsPerProc returns the modeled per-processor treecode rate.
+func (m TreecodeMachine) MflopsPerProc() float64 {
+	return m.KernelMflops * m.TreecodeEff
+}
+
+// Table6Machines is the historical treecode performance table. Kernel rates
+// for machines in Table 5 come from the CPU model; efficiencies reflect
+// each machine's network generation (tighter interconnects and newer code
+// sustain a larger fraction of the kernel rate).
+var Table6Machines = []TreecodeMachine{
+	{2003, "LANL", "ASCI QB", 3600, Table5CPUs[9].KernelMflops(true), 0.680, 2793, 775.8},
+	{2003, "LANL", "Space Simulator", 288, Table5CPUs[7].KernelMflops(true), 0.787, 179.7, 623.9},
+	{2002, "NERSC", "IBM SP-3(375/W)", 256, Table5CPUs[3].KernelMflops(true), 0.437, 57.70, 225.0},
+	{2002, "LANL", "Green Destiny", 212, Table5CPUs[1].KernelMflops(true), 0.617, 38.9, 183.5},
+	{2000, "LANL", "SGI Origin 2000", 64, 300, 0.683, 13.10, 205.0},
+	{1998, "LANL", "Avalon", 128, Table5CPUs[0].KernelMflops(true), 0.520, 16.16, 126.0},
+	{1996, "LANL", "Loki", 16, 100, 0.800, 1.28, 80.0},
+	{1996, "SC '96", "Loki+Hyglac", 32, 100, 0.684, 2.19, 68.4},
+	{1996, "Sandia", "ASCI Red", 6800, 100, 0.684, 464.9, 68.4},
+	{1995, "JPL", "Cray T3D", 256, 45, 0.690, 7.94, 31.0},
+	{1995, "LANL", "TMC CM-5", 512, 40, 0.688, 14.06, 27.5},
+	{1993, "Caltech", "Intel Delta", 512, 30, 0.653, 10.02, 19.6},
+}

@@ -1,0 +1,314 @@
+package mp
+
+// Collective operations, built from point-to-point messages with the
+// standard logarithmic algorithms so that their virtual-time cost emerges
+// from the network model (latency-dominated at small sizes,
+// bandwidth-dominated at large ones) rather than being postulated.
+
+// Op is a pointwise reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Barrier blocks until all ranks reach it (dissemination algorithm:
+// ceil(log2 n) rounds of pairwise notifications).
+func (r *Rank) Barrier() {
+	n := r.w.n
+	if n == 1 {
+		return
+	}
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (r.id + dist) % n
+		src := (r.id - dist + n) % n
+		r.Send(dst, tagBarrier, nil, 0)
+		r.Recv(src, tagBarrier)
+	}
+}
+
+// Bcast distributes root's buffer to all ranks via a binomial tree and
+// returns the received copy (root returns its own buf).
+func (r *Rank) Bcast(root int, buf []float64) []float64 {
+	n := r.w.n
+	if n == 1 {
+		return buf
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (r.id - root + n) % n
+	if vr != 0 {
+		// Receive from parent: clear lowest set bit.
+		parent := ((vr & (vr - 1)) + root) % n
+		buf, _ = r.RecvFloats(parent, tagBcast)
+	}
+	// Forward to children: set bits above the lowest set bit.
+	for bit := 1; bit < n; bit *= 2 {
+		if vr&bit != 0 {
+			break
+		}
+		child := vr | bit
+		if child < n {
+			r.SendFloats((child+root)%n, tagBcast, buf)
+		}
+	}
+	return buf
+}
+
+// Reduce combines per-rank buffers elementwise with op onto the root, via a
+// binomial tree. Non-root ranks return nil. The input is not modified.
+func (r *Rank) Reduce(root int, buf []float64, op Op) []float64 {
+	n := r.w.n
+	acc := append([]float64(nil), buf...)
+	if n == 1 {
+		return acc
+	}
+	vr := (r.id - root + n) % n
+	for bit := 1; bit < n; bit *= 2 {
+		if vr&bit != 0 {
+			parent := ((vr &^ bit) + root) % n
+			r.SendFloats(parent, tagReduce, acc)
+			return nil
+		}
+		child := vr | bit
+		if child < n {
+			other, _ := r.RecvFloats((child+root)%n, tagReduce)
+			r.Charge(float64(len(acc)), 0.5, float64(16*len(acc)))
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	return acc
+}
+
+// Allreduce combines buffers elementwise with op and returns the result on
+// every rank (recursive doubling; for non-power-of-two sizes the excess
+// ranks fold into partners first).
+func (r *Rank) Allreduce(buf []float64, op Op) []float64 {
+	n := r.w.n
+	acc := append([]float64(nil), buf...)
+	if n == 1 {
+		return acc
+	}
+	// Largest power of two <= n.
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	combine := func(other []float64) {
+		r.Charge(float64(len(acc)), 0.5, float64(16*len(acc)))
+		for i := range acc {
+			acc[i] = op(acc[i], other[i])
+		}
+	}
+	// Phase 1: ranks >= pof2 send to (id - pof2) and wait for the result.
+	if r.id >= pof2 {
+		r.SendFloats(r.id-pof2, tagReduce, acc)
+		acc, _ = r.RecvFloats(r.id-pof2, tagBcast)
+		return acc
+	}
+	if r.id < rem {
+		other, _ := r.RecvFloats(r.id+pof2, tagReduce)
+		combine(other)
+	}
+	// Phase 2: recursive doubling among [0, pof2).
+	for bit := 1; bit < pof2; bit *= 2 {
+		partner := r.id ^ bit
+		r.SendFloats(partner, tagReduce, acc)
+		other, _ := r.RecvFloats(partner, tagReduce)
+		combine(other)
+	}
+	// Phase 3: return results to the folded ranks.
+	if r.id < rem {
+		r.SendFloats(r.id+pof2, tagBcast, acc)
+	}
+	return acc
+}
+
+// AllreduceScalar reduces a single value with op on every rank.
+func (r *Rank) AllreduceScalar(v float64, op Op) float64 {
+	return r.Allreduce([]float64{v}, op)[0]
+}
+
+// AllreduceInt sums one integer across ranks (exact for |v| < 2^53).
+func (r *Rank) AllreduceInt(v int) int {
+	return int(r.AllreduceScalar(float64(v), OpSum))
+}
+
+// Gather collects per-rank chunks on root, which receives them indexed by
+// source rank; other ranks return nil. Because the root matches AnySource,
+// each Gather call carries a round-stamped tag so back-to-back gathers
+// cannot steal each other's chunks (all ranks must call collectives in the
+// same order, so the per-rank round counters agree globally).
+func (r *Rank) Gather(root int, chunk []float64) [][]float64 {
+	n := r.w.n
+	tag := tagGatherBase - int(r.gatherSeq%1024)
+	r.gatherSeq++
+	if r.id != root {
+		r.SendFloats(root, tag, chunk)
+		return nil
+	}
+	out := make([][]float64, n)
+	out[root] = chunk
+	for i := 0; i < n-1; i++ {
+		data, st := r.RecvFloats(AnySource, tag)
+		out[st.Source] = data
+	}
+	return out
+}
+
+// tagGatherBase starts the reserved tag range for gather rounds
+// (-2000 .. -3023).
+const tagGatherBase = -2000
+
+// Allgather collects every rank's chunk on every rank (ring algorithm:
+// n-1 rounds passing accumulated data around the ring).
+func (r *Rank) Allgather(chunk []float64) [][]float64 {
+	n := r.w.n
+	out := make([][]float64, n)
+	out[r.id] = chunk
+	if n == 1 {
+		return out
+	}
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	cur := r.id
+	for round := 0; round < n-1; round++ {
+		r.SendFloats(right, tagAllgather, out[cur])
+		data, _ := r.RecvFloats(left, tagAllgather)
+		cur = (cur - 1 + n) % n
+		out[cur] = data
+	}
+	return out
+}
+
+// Alltoall delivers chunks[d] to rank d and returns the received chunks
+// indexed by source. Pairwise-exchange algorithm with congested-network
+// bandwidth accounting, since an all-to-all saturates the fabric (this is
+// where the module backplane and trunk limits of Section 3.1 bite).
+func (r *Rank) Alltoall(chunks [][]float64) [][]float64 {
+	n := r.w.n
+	if len(chunks) != n {
+		panic("mp: Alltoall needs one chunk per rank")
+	}
+	out := make([][]float64, n)
+	out[r.id] = chunks[r.id]
+	if n&(n-1) == 0 {
+		// Power of two: XOR pairwise exchange.
+		for round := 1; round < n; round++ {
+			partner := r.id ^ round
+			r.sendAt(partner, tagAlltoall, chunks[partner], SizeFloats(len(chunks[partner])), true)
+			data, _ := r.Recv(partner, tagAlltoall)
+			if data != nil {
+				out[partner] = data.([]float64)
+			}
+		}
+		return out
+	}
+	// General n: shifted-ring exchange; in round k send to id+k, receive
+	// from id-k.
+	for round := 1; round < n; round++ {
+		dst := (r.id + round) % n
+		src := (r.id - round + n) % n
+		r.sendAt(dst, tagAlltoall, chunks[dst], SizeFloats(len(chunks[dst])), true)
+		data, _ := r.Recv(src, tagAlltoall)
+		if data != nil {
+			out[src] = data.([]float64)
+		}
+	}
+	return out
+}
+
+// AlltoallAny is Alltoall for arbitrary payloads with caller-supplied wire
+// sizes (bytes[d] accounts chunk[d]). Payloads are delivered by reference:
+// the sender must not mutate a chunk after the call.
+func (r *Rank) AlltoallAny(chunks []any, bytes []int64) []any {
+	n := r.w.n
+	if len(chunks) != n || len(bytes) != n {
+		panic("mp: AlltoallAny needs one chunk and size per rank")
+	}
+	out := make([]any, n)
+	out[r.id] = chunks[r.id]
+	if n&(n-1) == 0 {
+		for round := 1; round < n; round++ {
+			partner := r.id ^ round
+			r.sendAt(partner, tagAlltoall, chunks[partner], bytes[partner], true)
+			data, _ := r.Recv(partner, tagAlltoall)
+			out[partner] = data
+		}
+		return out
+	}
+	for round := 1; round < n; round++ {
+		dst := (r.id + round) % n
+		src := (r.id - round + n) % n
+		r.sendAt(dst, tagAlltoall, chunks[dst], bytes[dst], true)
+		data, _ := r.Recv(src, tagAlltoall)
+		out[src] = data
+	}
+	return out
+}
+
+// AllgatherAny collects every rank's payload on every rank (ring), with the
+// given accounted wire size. Payloads are delivered by reference.
+func (r *Rank) AllgatherAny(chunk any, bytes int64) []any {
+	n := r.w.n
+	out := make([]any, n)
+	sizes := make([]int64, n)
+	out[r.id] = chunk
+	sizes[r.id] = bytes
+	if n == 1 {
+		return out
+	}
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	cur := r.id
+	for round := 0; round < n-1; round++ {
+		r.Send(right, tagAllgather, out[cur], sizes[cur])
+		data, st := r.Recv(left, tagAllgather)
+		cur = (cur - 1 + n) % n
+		out[cur] = data
+		sizes[cur] = st.Bytes
+	}
+	return out
+}
+
+// ExScan returns the exclusive prefix reduction of v: rank i receives
+// op(v_0, ..., v_{i-1}); rank 0 receives 0 (for OpSum semantics).
+func (r *Rank) ExScan(v float64, op Op) float64 {
+	n := r.w.n
+	acc := v      // running inclusive value to forward
+	result := 0.0 // exclusive prefix
+	havePrefix := false
+	for bit := 1; bit < n; bit *= 2 {
+		partner := r.id ^ bit
+		if partner >= n {
+			continue
+		}
+		r.SendFloats(partner, tagScan, []float64{acc})
+		other, _ := r.RecvFloats(partner, tagScan)
+		if partner < r.id {
+			if havePrefix {
+				result = op(result, other[0])
+			} else {
+				result = other[0]
+				havePrefix = true
+			}
+		}
+		acc = op(acc, other[0])
+	}
+	return result
+}

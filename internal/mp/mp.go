@@ -1,0 +1,356 @@
+// Package mp is the message-passing substrate standing in for MPI on the
+// simulated cluster. Each rank runs as a goroutine; messages move through
+// in-process mailboxes carrying *virtual timestamps*.
+//
+// Virtual time: every rank owns a clock (seconds). Computation is charged
+// explicitly through Charge (roofline node model); communication is charged
+// by the network model — a message sent at sender-time t arrives at
+// t + transfer(bytes), and the receiver's clock advances to
+// max(receiver clock, arrival). Because the real data dependencies are
+// enforced by real channel communication, the resulting virtual schedule is
+// causally consistent, and cluster-scale performance shapes (Linpack, NPB
+// scaling, treecode throughput) are reproduced on a single host CPU.
+//
+// Sends are buffered (they never block); receives block until a matching
+// message exists. Collectives are implemented on top of point-to-point with
+// the standard logarithmic algorithms, so their virtual cost emerges from
+// the same model rather than being postulated.
+package mp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"spacesim/internal/machine"
+	"spacesim/internal/netsim"
+)
+
+// AnySource and AnyTag are wildcard selectors for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved internal tag space for collectives; user tags must be >= 0.
+const (
+	tagBarrier = -100 - iota
+	tagBcast
+	tagReduce
+	tagAllgather
+	tagAlltoall
+	tagScan
+	tagGather
+	tagABM
+	tagSort
+)
+
+// message is an in-flight payload with its virtual arrival time.
+type message struct {
+	src, tag int
+	data     any
+	bytes    int64
+	arrive   float64
+}
+
+// inbox is a rank's pending-message queue with MPI-style matching.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(m message) {
+	ib.mu.Lock()
+	ib.q = append(ib.q, m)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// take removes and returns the first message matching (src, tag),
+// blocking until one arrives.
+func (ib *inbox) take(src, tag int) message {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i, m := range ib.q {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				ib.q = append(ib.q[:i], ib.q[i+1:]...)
+				return m
+			}
+		}
+		ib.cond.Wait()
+	}
+}
+
+// tryTake is take without blocking; ok reports whether a match existed.
+func (ib *inbox) tryTake(src, tag int) (message, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for i, m := range ib.q {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			ib.q = append(ib.q[:i], ib.q[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// World is one parallel run: n ranks on a modeled cluster.
+type World struct {
+	n       int
+	cluster machine.Cluster
+	boxes   []*inbox
+
+	statsMu    sync.Mutex
+	totalMsgs  int64
+	totalBytes int64
+
+	// congestedBps caches the per-flow fair-share bandwidth under a full
+	// random-permutation load, used by dense collectives (alltoall).
+	congestedOnce sync.Once
+	congestedBps  float64
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// ElapsedVirtual is the max over ranks of their final clocks: the
+	// modeled wall-clock time of the parallel program.
+	ElapsedVirtual float64
+	// RankClocks are the per-rank final virtual clocks.
+	RankClocks []float64
+	// Messages and Bytes count all point-to-point traffic, including that
+	// generated inside collectives.
+	Messages int64
+	Bytes    int64
+}
+
+// Run executes fn on nprocs ranks of the given cluster and returns timing
+// statistics. It panics if nprocs exceeds the cluster's node count, since
+// rank-to-node placement is 1:1 (the SS ran one process per node).
+func Run(cluster machine.Cluster, nprocs int, fn func(r *Rank)) Stats {
+	if nprocs <= 0 {
+		panic("mp: nprocs must be positive")
+	}
+	if nprocs > cluster.Nodes {
+		panic(fmt.Sprintf("mp: %d ranks exceed %d nodes of %s", nprocs, cluster.Nodes, cluster.Name))
+	}
+	w := &World{n: nprocs, cluster: cluster}
+	w.boxes = make([]*inbox, nprocs)
+	for i := range w.boxes {
+		w.boxes[i] = newInbox()
+	}
+	clocks := make([]float64, nprocs)
+	var wg sync.WaitGroup
+	wg.Add(nprocs)
+	for i := 0; i < nprocs; i++ {
+		r := &Rank{id: i, w: w, rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+		go func() {
+			defer wg.Done()
+			fn(r)
+			clocks[r.id] = r.clock
+		}()
+	}
+	wg.Wait()
+	st := Stats{RankClocks: clocks, Messages: w.totalMsgs, Bytes: w.totalBytes}
+	for _, c := range clocks {
+		if c > st.ElapsedVirtual {
+			st.ElapsedVirtual = c
+		}
+	}
+	return st
+}
+
+// congestedRate returns the mean fair per-flow bandwidth (bits/s) across
+// the rounds of a dense exchange: an all-to-all visits every shift
+// distance, so early rounds stay inside a switch module (line rate) while
+// far rounds squeeze through the module backplane and trunk. We average the
+// max-min fair share over log-spaced shift permutations. Cached per world.
+func (w *World) congestedRate() float64 {
+	w.congestedOnce.Do(func() {
+		prof := w.cluster.Net.Prof.PeakBps
+		if w.n < 2 {
+			w.congestedBps = prof
+			return
+		}
+		var sum float64
+		var samples int
+		for shift := 1; shift < w.n; shift *= 2 {
+			flows := make([]netsim.Flow, w.n)
+			for i := 0; i < w.n; i++ {
+				flows[i] = netsim.Flow{Src: i, Dst: (i + shift) % w.n}
+			}
+			rates := w.cluster.Net.FairShare(flows)
+			var tot float64
+			for _, r := range rates {
+				tot += r
+			}
+			per := tot / float64(w.n)
+			if per > prof {
+				per = prof
+			}
+			sum += per
+			samples++
+		}
+		w.congestedBps = sum / float64(samples)
+	})
+	return w.congestedBps
+}
+
+// Rank is the per-process handle: identity, virtual clock, and the
+// communication API. All methods must be called from the rank's own
+// goroutine.
+type Rank struct {
+	id    int
+	w     *World
+	clock float64
+	rng   *rand.Rand
+
+	flopsCharged float64
+	bytesMoved   float64
+
+	// gatherSeq stamps Gather rounds (collectives are SPMD-ordered, so the
+	// per-rank counter is globally consistent).
+	gatherSeq int64
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.w.n }
+
+// Clock returns the rank's current virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// AdvanceClock moves the clock forward by dt seconds (dt >= 0); used for
+// modeled costs outside the roofline (e.g. disk I/O waits).
+func (r *Rank) AdvanceClock(dt float64) {
+	if dt < 0 {
+		panic("mp: negative clock advance")
+	}
+	r.clock += dt
+}
+
+// Rng returns the rank's deterministic private random source.
+func (r *Rank) Rng() *rand.Rand { return r.rng }
+
+// Node returns the node model this rank runs on.
+func (r *Rank) Node() machine.Node { return r.w.cluster.Node }
+
+// Charge advances virtual time for a compute kernel: flops at efficiency
+// eff plus bytes of main-memory traffic (roofline, no overlap). It also
+// accumulates the rank's flop counter for rate reporting.
+func (r *Rank) Charge(flops, eff, bytes float64) {
+	r.clock += r.w.cluster.Node.Time(flops, eff, bytes)
+	r.flopsCharged += flops
+	r.bytesMoved += bytes
+}
+
+// ChargeDisk advances virtual time for local-disk streaming I/O.
+func (r *Rank) ChargeDisk(bytes float64) {
+	r.clock += r.w.cluster.Node.DiskTime(bytes)
+}
+
+// FlopsCharged returns the cumulative flops this rank has charged.
+func (r *Rank) FlopsCharged() float64 { return r.flopsCharged }
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int64
+}
+
+// Send delivers data to rank dst with the given tag. bytes is the accounted
+// wire size (use SizeFloats and friends). Sends are buffered: the call
+// returns after charging the sender-side overhead only.
+func (r *Rank) Send(dst, tag int, data any, bytes int64) {
+	r.sendAt(dst, tag, data, bytes, false)
+}
+
+// sendAt implements Send; congested selects the loaded-network bandwidth
+// used by dense collectives.
+func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
+	if dst < 0 || dst >= r.w.n {
+		panic(fmt.Sprintf("mp: send to rank %d of %d", dst, r.w.n))
+	}
+	net := r.w.cluster.Net
+	// Sender-side software overhead.
+	r.clock += net.Prof.PerMsgOverheadSec
+	var xfer float64
+	if dst == r.id {
+		xfer = net.TransferTime(r.id, r.id, bytes)
+	} else if congested {
+		p := net.Prof
+		xfer = p.LatencySec
+		if p.RendezvousBytes > 0 && bytes >= p.RendezvousBytes {
+			xfer += p.RendezvousSec
+		}
+		xfer += float64(bytes) * 8 / r.w.congestedRate()
+	} else {
+		xfer = net.TransferTime(r.id, dst, bytes)
+	}
+	m := message{src: r.id, tag: tag, data: data, bytes: bytes, arrive: r.clock + xfer}
+	r.w.boxes[dst].put(m)
+	r.w.statsMu.Lock()
+	r.w.totalMsgs++
+	r.w.totalBytes += bytes
+	r.w.statsMu.Unlock()
+}
+
+// Recv blocks until a message matching (src, tag) arrives (wildcards
+// AnySource/AnyTag allowed), advances the clock to its arrival time, and
+// returns its payload.
+func (r *Rank) Recv(src, tag int) (any, Status) {
+	m := r.w.boxes[r.id].take(src, tag)
+	if m.arrive > r.clock {
+		r.clock = m.arrive
+	}
+	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
+}
+
+// TryRecv is Recv without blocking. Unlike Recv it does not wait, and only
+// returns a message whose virtual arrival time has been reached by this
+// rank's clock OR any available matching message if the rank is idle-polling
+// (we accept slight optimism here; the arrival max still applies).
+func (r *Rank) TryRecv(src, tag int) (any, Status, bool) {
+	m, ok := r.w.boxes[r.id].tryTake(src, tag)
+	if !ok {
+		return nil, Status{}, false
+	}
+	if m.arrive > r.clock {
+		r.clock = m.arrive
+	}
+	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}, true
+}
+
+// SendFloats sends a []float64 with proper wire-size accounting. The slice
+// is copied, so the caller may keep mutating its buffer — matching the
+// semantics of a real wire transfer (Send with a raw payload does NOT copy;
+// callers passing mutable slices must copy themselves).
+func (r *Rank) SendFloats(dst, tag int, xs []float64) {
+	cp := append([]float64(nil), xs...)
+	r.Send(dst, tag, cp, SizeFloats(len(cp)))
+}
+
+// RecvFloats receives a []float64 payload.
+func (r *Rank) RecvFloats(src, tag int) ([]float64, Status) {
+	d, st := r.Recv(src, tag)
+	if d == nil {
+		return nil, st
+	}
+	return d.([]float64), st
+}
+
+// SizeFloats returns the wire size of n float64 values.
+func SizeFloats(n int) int64 { return int64(8 * n) }
+
+// SizeBytes returns the wire size of a byte slice.
+func SizeBytes(b []byte) int64 { return int64(len(b)) }

@@ -1,0 +1,269 @@
+// Package ooc implements the out-of-core N-body machinery of Salmon &
+// Warren (1997), which the paper invokes for beyond-memory runs: "Even
+// larger simulations are possible using the out-of-core version of our
+// code." Particles live in key-sorted blocks on local disk; the in-memory
+// working set is a block cache plus the tree's upper levels. A force pass
+// streams sink blocks sequentially while the traversal touches source
+// blocks through the cache — the disk-friendly access pattern that the
+// Morton order makes possible (spatially adjacent particles are adjacent
+// on disk).
+package ooc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/htree"
+	"spacesim/internal/key"
+	"spacesim/internal/pario"
+	"spacesim/internal/vec"
+)
+
+// Store is an on-disk, key-sorted particle store divided into fixed-size
+// blocks, each a checksummed pario stripe.
+type Store struct {
+	Dir       string
+	BlockSize int
+	NumBlocks int
+	N         int
+	// BlockLo holds the first body key of each block: block b covers keys
+	// [BlockLo[b], BlockLo[b+1]).
+	BlockLo []key.K
+	// BoxLo/BoxSize is the key-labeling cube.
+	BoxLo   vec.V3
+	BoxSize float64
+
+	cache    map[int]*Block
+	cacheCap int
+	// Reads counts block loads from disk (cache misses), the out-of-core
+	// cost metric.
+	Reads int
+}
+
+// Block is one resident particle block.
+type Block struct {
+	Index int
+	Pos   []vec.V3
+	Mass  []float64
+	Keys  []key.K
+}
+
+// Create builds a store from in-memory particles: sorts by Morton key,
+// splits into blocks of blockSize, and writes each block as a stripe file
+// in dir.
+func Create(dir string, pos []vec.V3, mass []float64, blockSize, cacheCap int) (*Store, error) {
+	if len(pos) == 0 || len(pos) != len(mass) {
+		return nil, fmt.Errorf("ooc: bad particle set (%d pos, %d mass)", len(pos), len(mass))
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("ooc: block size must be positive")
+	}
+	lo, size := htree.BoundingCube(pos)
+	type rec struct {
+		k key.K
+		i int
+	}
+	recs := make([]rec, len(pos))
+	for i := range pos {
+		recs[i] = rec{key.FromPosition(pos[i], lo, size), i}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].k < recs[b].k })
+
+	st := &Store{
+		Dir: dir, BlockSize: blockSize, N: len(pos),
+		BoxLo: lo, BoxSize: size,
+		cache: map[int]*Block{}, cacheCap: cacheCap,
+	}
+	if st.cacheCap < 2 {
+		st.cacheCap = 2
+	}
+	for start := 0; start < len(recs); start += blockSize {
+		end := min(start+blockSize, len(recs))
+		data := make([]float64, 0, 6*(end-start))
+		for _, r := range recs[start:end] {
+			p := pos[r.i]
+			pair := keyToFloatPair(r.k)
+			data = append(data, p[0], p[1], p[2], mass[r.i], pair[0], pair[1])
+		}
+		b := st.NumBlocks
+		if _, err := pario.WriteStripe(dir, "block", b, data); err != nil {
+			return nil, err
+		}
+		st.BlockLo = append(st.BlockLo, recs[start].k)
+		st.NumBlocks++
+	}
+	return st, nil
+}
+
+// keyToFloatPair encodes a 64-bit key losslessly in two float64 halves.
+func keyToFloatPair(k key.K) []float64 {
+	return []float64{float64(uint32(k >> 32)), float64(uint32(k))}
+}
+
+func keyFromFloatPair(hi, lo float64) key.K {
+	return key.K(uint64(uint32(hi))<<32 | uint64(uint32(lo)))
+}
+
+// LoadBlock returns block b, reading from disk on a cache miss (evicting
+// an arbitrary non-requested resident block when full).
+func (s *Store) LoadBlock(b int) (*Block, error) {
+	if blk, ok := s.cache[b]; ok {
+		return blk, nil
+	}
+	path := filepath.Join(s.Dir, fmt.Sprintf("block.%04d", b))
+	data, err := pario.ReadStripe(path, b)
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%6 != 0 {
+		return nil, fmt.Errorf("ooc: block %d malformed", b)
+	}
+	n := len(data) / 6
+	blk := &Block{Index: b, Pos: make([]vec.V3, n), Mass: make([]float64, n), Keys: make([]key.K, n)}
+	for i := 0; i < n; i++ {
+		o := 6 * i
+		blk.Pos[i] = vec.V3{data[o], data[o+1], data[o+2]}
+		blk.Mass[i] = data[o+3]
+		blk.Keys[i] = keyFromFloatPair(data[o+4], data[o+5])
+	}
+	s.Reads++
+	for len(s.cache) >= s.cacheCap {
+		for k := range s.cache {
+			if k != b {
+				delete(s.cache, k)
+				break
+			}
+		}
+	}
+	s.cache[b] = blk
+	return blk, nil
+}
+
+// BlockMultipoles computes each block's multipole by streaming the store
+// once — the coarse in-memory tree of the out-of-core pass.
+func (s *Store) BlockMultipoles() ([]gravity.Multipole, error) {
+	out := make([]gravity.Multipole, s.NumBlocks)
+	for b := 0; b < s.NumBlocks; b++ {
+		blk, err := s.LoadBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = gravity.FromBodies(blk.Pos, blk.Mass)
+	}
+	return out, nil
+}
+
+// blockBmax returns the max distance of a block's bodies from a point.
+func blockBmax(blk *Block, from vec.V3) float64 {
+	m := 0.0
+	for _, p := range blk.Pos {
+		if d := p.Dist(from); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ForcePass computes accelerations for every particle with an out-of-core
+// block-tree pass: for each sink block, distant source blocks interact
+// through their multipoles; near blocks are loaded and summed directly.
+// theta is the block-level acceptance parameter; eps the softening.
+// Results are indexed in store (key) order.
+func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
+	mps := make([]gravity.Multipole, s.NumBlocks)
+	bmax := make([]float64, s.NumBlocks)
+	for b := 0; b < s.NumBlocks; b++ {
+		blk, err := s.LoadBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		mps[b] = gravity.FromBodies(blk.Pos, blk.Mass)
+		bmax[b] = blockBmax(blk, mps[b].COM)
+	}
+	acc := make([]vec.V3, 0, s.N)
+	for sink := 0; sink < s.NumBlocks; sink++ {
+		sb, err := s.LoadBlock(sink)
+		if err != nil {
+			return nil, err
+		}
+		local := make([]vec.V3, len(sb.Pos))
+		for src := 0; src < s.NumBlocks; src++ {
+			if src == sink {
+				continue
+			}
+			// block-level MAC against the sink block's extent
+			d := mps[src].COM.Dist(mps[sink].COM)
+			if htree.AcceptMAC(d, bmax[src]+bmax[sink], theta) {
+				for i, p := range sb.Pos {
+					a, _ := mps[src].AccelAt(p, eps)
+					local[i] = local[i].Add(a)
+				}
+				continue
+			}
+			// near block: stream it and sum directly
+			nb, err := s.LoadBlock(src)
+			if err != nil {
+				return nil, err
+			}
+			srcs := make([]gravity.Source, len(nb.Pos))
+			for j := range nb.Pos {
+				srcs[j] = gravity.Source{Pos: nb.Pos[j], Mass: nb.Mass[j]}
+			}
+			for i, p := range sb.Pos {
+				a, _ := gravity.KernelLibm(p, srcs, eps*eps)
+				local[i] = local[i].Add(a)
+			}
+		}
+		// in-block direct interactions
+		srcs := make([]gravity.Source, len(sb.Pos))
+		for j := range sb.Pos {
+			srcs[j] = gravity.Source{Pos: sb.Pos[j], Mass: sb.Mass[j]}
+		}
+		for i, p := range sb.Pos {
+			a, _ := kernelSkipSelf(p, srcs, eps)
+			local[i] = local[i].Add(a)
+		}
+		acc = append(acc, local...)
+	}
+	return acc, nil
+}
+
+// kernelSkipSelf is the direct kernel excluding the r=0 self term.
+func kernelSkipSelf(p vec.V3, srcs []gravity.Source, eps float64) (vec.V3, float64) {
+	var kept []gravity.Source
+	for _, sc := range srcs {
+		if sc.Pos != p {
+			kept = append(kept, sc)
+		}
+	}
+	return gravity.KernelLibm(p, kept, eps*eps)
+}
+
+// TotalMass streams the store and returns the summed mass (an integrity
+// check that costs one pass).
+func (s *Store) TotalMass() (float64, error) {
+	t := 0.0
+	for b := 0; b < s.NumBlocks; b++ {
+		blk, err := s.LoadBlock(b)
+		if err != nil {
+			return 0, err
+		}
+		for _, m := range blk.Mass {
+			t += m
+		}
+	}
+	return t, nil
+}
+
+// Remove deletes the on-disk blocks.
+func (s *Store) Remove() error {
+	for b := 0; b < s.NumBlocks; b++ {
+		if err := os.Remove(filepath.Join(s.Dir, fmt.Sprintf("block.%04d", b))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package ooc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/key"
+	"spacesim/internal/vec"
+)
+
+func randomSet(n int, seed int64) ([]vec.V3, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		mass[i] = 1.0 / float64(n)
+	}
+	return pos, mass
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(t.TempDir(), nil, nil, 8, 4); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	pos, mass := randomSet(10, 1)
+	if _, err := Create(t.TempDir(), pos, mass, 0, 4); err == nil {
+		t.Fatal("zero block size must fail")
+	}
+}
+
+func TestStoreRoundTripAndOrder(t *testing.T) {
+	pos, mass := randomSet(300, 2)
+	st, err := Create(t.TempDir(), pos, mass, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumBlocks != (300+31)/32 {
+		t.Fatalf("blocks = %d", st.NumBlocks)
+	}
+	// keys are globally sorted across blocks
+	var prev key.K
+	total := 0
+	for b := 0; b < st.NumBlocks; b++ {
+		blk, err := st.LoadBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range blk.Keys {
+			if k < prev {
+				t.Fatal("keys not globally sorted")
+			}
+			prev = k
+		}
+		if blk.Keys[0] != st.BlockLo[b] {
+			t.Fatalf("BlockLo[%d] mismatch", b)
+		}
+		total += len(blk.Pos)
+	}
+	if total != 300 {
+		t.Fatalf("streamed %d particles", total)
+	}
+	m, err := st.TotalMass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1) > 1e-12 {
+		t.Fatalf("mass = %v", m)
+	}
+}
+
+// The cache must bound residency and count disk reads.
+func TestCacheEvictionAndReads(t *testing.T) {
+	pos, mass := randomSet(256, 3)
+	st, err := Create(t.TempDir(), pos, mass, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Reads = 0
+	// one full pass: every block read once
+	for b := 0; b < st.NumBlocks; b++ {
+		if _, err := st.LoadBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Reads != st.NumBlocks {
+		t.Fatalf("reads = %d want %d", st.Reads, st.NumBlocks)
+	}
+	// repeated access to the last-loaded block is free
+	last := st.NumBlocks - 1
+	before := st.Reads
+	for i := 0; i < 5; i++ {
+		if _, err := st.LoadBlock(last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Reads != before {
+		t.Fatal("cached block should not re-read")
+	}
+	if len(st.cache) > 3 {
+		t.Fatalf("cache holds %d blocks, cap 3", len(st.cache))
+	}
+}
+
+// Out-of-core forces must match in-memory direct summation within the
+// block-MAC error, and exactly when theta forces all-direct.
+func TestForcePassMatchesDirect(t *testing.T) {
+	pos, mass := randomSet(240, 4)
+	eps := 0.05
+	accD, _ := gravity.Direct(pos, mass, eps)
+
+	st, err := Create(t.TempDir(), pos, mass, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// map store order back to original indices by matching positions
+	// (store is key-sorted); rebuild the permutation via block streams.
+	perm := make([]int, 0, len(pos))
+	index := map[vec.V3]int{}
+	for i, p := range pos {
+		index[p] = i
+	}
+	for b := 0; b < st.NumBlocks; b++ {
+		blk, _ := st.LoadBlock(b)
+		for _, p := range blk.Pos {
+			perm = append(perm, index[p])
+		}
+	}
+
+	// theta ~ 0: everything direct, matches to roundoff
+	accExact, err := st.ForcePass(1e-9, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, oi := range perm {
+		if accExact[si].Sub(accD[oi]).Norm() > 1e-10*(1+accD[oi].Norm()) {
+			t.Fatalf("exact pass mismatch at %d", si)
+		}
+	}
+
+	// practical theta: bounded relative RMS error
+	accT, err := st.ForcePass(0.4, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den float64
+	for si, oi := range perm {
+		num += accT[si].Sub(accD[oi]).Norm2()
+		den += accD[oi].Norm2()
+	}
+	if rms := math.Sqrt(num / den); rms > 2e-2 {
+		t.Fatalf("block-MAC rms error %v", rms)
+	}
+}
+
+// The whole point of out-of-core: the force pass works with a cache far
+// smaller than the block count.
+func TestForcePassTinyCache(t *testing.T) {
+	pos, mass := randomSet(200, 5)
+	st, err := Create(t.TempDir(), pos, mass, 10, 2) // 20 blocks, cache 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Reads = 0
+	if _, err := st.ForcePass(0.5, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reads == 0 {
+		t.Fatal("expected disk traffic")
+	}
+	if len(st.cache) > 2 {
+		t.Fatalf("cache exceeded cap: %d", len(st.cache))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	pos, mass := randomSet(50, 6)
+	dir := t.TempDir()
+	st, err := Create(dir, pos, mass, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadBlock(0); err == nil {
+		t.Fatal("blocks should be gone")
+	}
+}
+
+func TestKeyFloatPairRoundTrip(t *testing.T) {
+	for _, k := range []key.K{0, 1, key.Root, 1<<63 | 12345, ^key.K(0)} {
+		pair := keyToFloatPair(k)
+		if got := keyFromFloatPair(pair[0], pair[1]); got != k {
+			t.Fatalf("roundtrip %v -> %v", k, got)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPopulation(t *testing.T) {
+	if Population(DRAMStick, 294) != 588 {
+		t.Fatal("two DRAM sticks per node")
+	}
+	if Population(SwitchPort, 294) != 304 {
+		t.Fatal("304 switch ports")
+	}
+	if Population(DiskDrive, 294) != 294 {
+		t.Fatal("one disk per node")
+	}
+}
+
+// The calibrated expectations must equal the paper's counts.
+func TestExpectedCountsMatchPaper(t *testing.T) {
+	install, operating := ExpectedCounts(294, 9)
+	for c, want := range PaperObserved.Install {
+		if got := install[c]; math.Abs(got-float64(want)) > 0.02*float64(want)+0.01 {
+			t.Errorf("install %s: expected %.2f want %d", c, got, want)
+		}
+	}
+	for c, want := range PaperObserved.NineMonths {
+		got := operating[c]
+		// exponential depletion makes E slightly below rate*T; allow 5%
+		if math.Abs(got-float64(want)) > 0.06*float64(want)+0.01 {
+			t.Errorf("operating %s: expected %.2f want %d", c, got, want)
+		}
+	}
+}
+
+// A Monte-Carlo average over many seeds must converge to the paper counts.
+func TestSimulationConvergesToPaper(t *testing.T) {
+	const runs = 400
+	sumOp := map[Component]float64{}
+	sumIn := map[Component]float64{}
+	for seed := int64(0); seed < runs; seed++ {
+		sim := Simulate(Options{Seed: seed})
+		for c, n := range sim.Counts(true) {
+			sumIn[c] += float64(n)
+		}
+		for c, n := range sim.Counts(false) {
+			sumOp[c] += float64(n)
+		}
+	}
+	for c, want := range PaperObserved.NineMonths {
+		got := sumOp[c] / runs
+		if math.Abs(got-float64(want)) > 0.2*float64(want)+0.3 {
+			t.Errorf("MC operating %s: %.2f want ~%d", c, got, want)
+		}
+	}
+	for c, want := range PaperObserved.Install {
+		got := sumIn[c] / runs
+		if math.Abs(got-float64(want)) > 0.2*float64(want)+0.3 {
+			t.Errorf("MC install %s: %.2f want ~%d", c, got, want)
+		}
+	}
+}
+
+// Disks dominate steady-state failures, as the paper reports ("the most
+// common failure has been with disk drives").
+func TestDisksDominate(t *testing.T) {
+	_, operating := ExpectedCounts(294, 9)
+	for c, v := range operating {
+		if c != DiskDrive && v >= operating[DiskDrive] {
+			t.Fatalf("%s expectation %.2f >= disk %.2f", c, v, operating[DiskDrive])
+		}
+	}
+}
+
+// SMART predicts the majority of disk failures.
+func TestSMARTMajorityPrediction(t *testing.T) {
+	pred, disks := 0.0, 0.0
+	for seed := int64(0); seed < 200; seed++ {
+		sim := Simulate(Options{Seed: seed})
+		for _, e := range sim.Events {
+			if e.Month >= 0 && e.Component == DiskDrive {
+				disks++
+				if e.Predicted {
+					pred++
+				}
+			}
+		}
+	}
+	frac := pred / disks
+	if frac <= 0.5 {
+		t.Fatalf("SMART predicted fraction %.2f: paper says a majority", frac)
+	}
+	sim := Simulate(Options{Seed: 42})
+	if f := sim.SMARTPredictedFraction(); f < 0 || f > 1 {
+		t.Fatalf("fraction out of range: %v", f)
+	}
+}
+
+// Three outages over nine months still leave availability above 98%.
+func TestAvailability(t *testing.T) {
+	a := Availability(9, PaperDowntime())
+	if a < 0.98 || a >= 1 {
+		t.Fatalf("availability = %v", a)
+	}
+}
+
+// The breaker rebalance: at 110 W per node, a 15 A / 115 V strip derated to
+// 80% safely carries 12 nodes; a conservative 70% figure drops it to 10 —
+// the "slightly more conservative maximum power consumption figure".
+func TestBreakerCheck(t *testing.T) {
+	if n := BreakerCheck(110, 15, 115, 0.8); n != 12 {
+		t.Fatalf("80%% derating: %d nodes", n)
+	}
+	n80 := BreakerCheck(110, 15, 115, 0.8)
+	n70 := BreakerCheck(110, 15, 115, 0.7)
+	if n70 >= n80 {
+		t.Fatal("conservative derating must reduce nodes per strip")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Month: -1, Component: DiskDrive, Unit: 3}
+	if got := e.String(); got != "install: disk drive unit 3" {
+		t.Fatalf("String = %q", got)
+	}
+	e.Month = 2
+	if got := e.String(); got != "operating: disk drive unit 3" {
+		t.Fatalf("String = %q", got)
+	}
+}

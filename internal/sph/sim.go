@@ -1,0 +1,520 @@
+package sph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spacesim/internal/htree"
+	"spacesim/internal/vec"
+)
+
+// Particles is the SPH particle state in structure-of-arrays layout.
+type Particles struct {
+	Pos  []vec.V3
+	Vel  []vec.V3
+	Mass []float64
+	U    []float64 // specific thermal energy
+	Enu  []float64 // specific neutrino energy
+	H    []float64 // smoothing length
+	Rho  []float64
+	P    []float64
+	Cs   []float64
+}
+
+// N returns the particle count.
+func (p *Particles) N() int { return len(p.Pos) }
+
+// Config holds the physics and numerics parameters (code units G = 1).
+type Config struct {
+	EOS *EOS
+	FLD *FLD
+	// NNeighbors is the target neighbor count (default 50).
+	NNeighbors int
+	// AlphaVisc/BetaVisc are the Monaghan viscosity coefficients.
+	AlphaVisc, BetaVisc float64
+	// GravEps is the gravitational softening; GravTheta the tree opening
+	// parameter.
+	GravEps   float64
+	GravTheta float64
+	// CFL is the timestep safety factor.
+	CFL float64
+}
+
+// DefaultConfig returns standard collapse-run parameters.
+func DefaultConfig(eos *EOS, fld *FLD) Config {
+	return Config{
+		EOS: eos, FLD: fld,
+		NNeighbors: 50,
+		AlphaVisc:  1.0, BetaVisc: 2.0,
+		GravEps: 0.01, GravTheta: 0.6,
+		CFL: 0.25,
+	}
+}
+
+// Sim is one SPH simulation.
+type Sim struct {
+	Cfg  Config
+	P    *Particles
+	Time float64
+	// Radiated accumulates neutrino energy lost from the gas (for the
+	// energy budget).
+	Radiated float64
+
+	acc  []vec.V3
+	dudt []float64
+	dnu  []float64
+	// maxDiffOverH2 is max_i D_i/h_i^2 from the last force evaluation,
+	// the explicit-diffusion stability bound.
+	maxDiffOverH2 float64
+}
+
+// NewSim wraps particle state with a configuration and initializes
+// smoothing lengths and densities.
+func NewSim(cfg Config, p *Particles) *Sim {
+	s := &Sim{Cfg: cfg, P: p}
+	n := p.N()
+	s.acc = make([]vec.V3, n)
+	s.dudt = make([]float64, n)
+	s.dnu = make([]float64, n)
+	if len(p.H) == 0 {
+		p.H = make([]float64, n)
+		// initial guess from mean interparticle spacing
+		lo, size := htree.BoundingCube(p.Pos)
+		_ = lo
+		d := size / math.Cbrt(float64(n))
+		for i := range p.H {
+			p.H[i] = 1.2 * d
+		}
+	}
+	if len(p.Rho) == 0 {
+		p.Rho = make([]float64, n)
+		p.P = make([]float64, n)
+		p.Cs = make([]float64, n)
+	}
+	s.UpdateDensity()
+	return s
+}
+
+// UpdateDensity recomputes smoothing lengths (two fixed-point iterations
+// toward the target neighbor count) and densities.
+func (s *Sim) UpdateDensity() {
+	p := s.P
+	n := p.N()
+	// support 2h holds NN neighbors: (4pi/3)(2h)^3 rho/m = NN
+	eta := 0.5 * math.Cbrt(3*float64(s.Cfg.NNeighbors)/(4*math.Pi))
+	for pass := 0; pass < 2; pass++ {
+		maxH := 0.0
+		for _, h := range p.H {
+			if h > maxH {
+				maxH = h
+			}
+		}
+		grid := BuildGrid(p.Pos, SupportRadius(maxH))
+		var nbr []int32
+		for i := 0; i < n; i++ {
+			nbr = grid.Neighbors(p.Pos, p.Pos[i], SupportRadius(p.H[i]), nbr[:0])
+			rho := 0.0
+			for _, j := range nbr {
+				rho += p.Mass[j] * W(p.Pos[i].Dist(p.Pos[int(j)]), p.H[i])
+			}
+			p.Rho[i] = rho
+			// adaptive h: the kernel support 2h encloses ~NNeighbors
+			p.H[i] = eta * math.Cbrt(p.Mass[i]/rho)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.P[i] = s.Cfg.EOS.Pressure(p.Rho[i], p.U[i])
+		p.Cs[i] = s.Cfg.EOS.SoundSpeed(p.Rho[i], p.U[i])
+	}
+}
+
+// computeForces fills acc (pressure + viscosity + gravity), dudt, and the
+// neutrino-field derivatives.
+func (s *Sim) computeForces() {
+	p := s.P
+	n := p.N()
+	cfg := s.Cfg
+	for i := range s.acc {
+		s.acc[i] = vec.V3{}
+		s.dudt[i] = 0
+		s.dnu[i] = 0
+	}
+
+	maxH := 0.0
+	for _, h := range p.H {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	grid := BuildGrid(p.Pos, SupportRadius(maxH))
+	var nbr []int32
+
+	// FLD precompute: energy density and limited diffusion coefficient.
+	diffD := make([]float64, n)
+	if cfg.FLD != nil {
+		for i := 0; i < n; i++ {
+			e := p.Rho[i] * p.Enu[i]
+			// gradient magnitude estimate via SPH
+			nbr = grid.Neighbors(p.Pos, p.Pos[i], SupportRadius(p.H[i]), nbr[:0])
+			var grad vec.V3
+			for _, j32 := range nbr {
+				j := int(j32)
+				if j == i {
+					continue
+				}
+				rij := p.Pos[i].Sub(p.Pos[j])
+				r := rij.Norm()
+				if r == 0 {
+					continue
+				}
+				ej := p.Rho[j] * p.Enu[j]
+				grad = grad.AddScaled(p.Mass[j]/p.Rho[j]*(ej-e)*DW(r, p.H[i])/r, rij)
+			}
+			diffD[i] = cfg.FLD.DiffusionCoeff(p.Rho[i], e, grad.Norm())
+		}
+	}
+	s.maxDiffOverH2 = 0
+	for i := 0; i < n; i++ {
+		if v := diffD[i] / (p.H[i] * p.H[i]); v > s.maxDiffOverH2 {
+			s.maxDiffOverH2 = v
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		hi := p.H[i]
+		nbr = grid.Neighbors(p.Pos, p.Pos[i], SupportRadius(maxH), nbr[:0])
+		for _, j32 := range nbr {
+			j := int(j32)
+			if j <= i {
+				continue // pairwise, each pair once
+			}
+			rij := p.Pos[i].Sub(p.Pos[j])
+			r := rij.Norm()
+			hm := 0.5 * (hi + p.H[j])
+			if r == 0 || r >= SupportRadius(hm) {
+				continue
+			}
+			dw := DW(r, hm)
+			gradW := rij.Scale(dw / r)
+			vij := p.Vel[i].Sub(p.Vel[j])
+
+			// Monaghan artificial viscosity for approaching pairs
+			pi := 0.0
+			vdotr := vij.Dot(rij)
+			if vdotr < 0 {
+				mu := hm * vdotr / (r*r + 0.01*hm*hm)
+				cm := 0.5 * (p.Cs[i] + p.Cs[j])
+				rhom := 0.5 * (p.Rho[i] + p.Rho[j])
+				pi = (-cfg.AlphaVisc*cm*mu + cfg.BetaVisc*mu*mu) / rhom
+			}
+			term := p.P[i]/(p.Rho[i]*p.Rho[i]) + p.P[j]/(p.Rho[j]*p.Rho[j]) + pi
+			s.acc[i] = s.acc[i].AddScaled(-p.Mass[j]*term, gradW)
+			s.acc[j] = s.acc[j].AddScaled(p.Mass[i]*term, gradW)
+			// Only the thermal pressure and viscosity do work on u: the
+			// cold branch is barotropic, its energy is a function of rho
+			// alone and is accounted separately (EOS.ColdEnergy).
+			gth := cfg.EOS.GammaTh - 1
+			thTerm := gth*p.U[i]/p.Rho[i] + gth*p.U[j]/p.Rho[j] + pi
+			work := 0.5 * thTerm * vij.Dot(gradW)
+			s.dudt[i] += p.Mass[j] * work
+			s.dudt[j] += p.Mass[i] * work
+
+			// FLD diffusion between the pair (Cleary-Monaghan form)
+			if cfg.FLD != nil {
+				di, dj := diffD[i], diffD[j]
+				if di > 0 && dj > 0 {
+					dbar := 4 * di * dj / (di + dj)
+					f := -dw / r // >= 0
+					flux := dbar * f / (p.Rho[i] * p.Rho[j]) *
+						(p.Rho[j]*p.Enu[j] - p.Rho[i]*p.Enu[i])
+					s.dnu[i] += p.Mass[j] * flux
+					s.dnu[j] -= p.Mass[i] * flux
+				}
+			}
+		}
+	}
+
+	// neutrino emission: thermal energy converts to neutrino energy in the
+	// hot dense core
+	if cfg.FLD != nil {
+		f := cfg.FLD
+		for i := 0; i < n; i++ {
+			if p.Rho[i] > f.RhoEmit && p.U[i] > 0 {
+				rate := f.EmissRate * (p.Rho[i] / f.RhoEmit) * (p.Rho[i] / f.RhoEmit)
+				s.dudt[i] -= rate * p.U[i]
+				s.dnu[i] += rate * p.U[i]
+			}
+		}
+	}
+
+	// self-gravity via the hashed oct-tree
+	tr, err := htree.Build(p.Pos, p.Mass, htree.Options{MaxLeaf: 8})
+	if err != nil {
+		panic("sph: gravity tree: " + err.Error())
+	}
+	gacc, _, _ := tr.AccelAll(cfg.GravTheta, cfg.GravEps, false)
+	for i := 0; i < n; i++ {
+		s.acc[i] = s.acc[i].Add(gacc[i])
+	}
+}
+
+// TimestepCFL returns the Courant-limited timestep.
+func (s *Sim) TimestepCFL() float64 {
+	p := s.P
+	dt := math.Inf(1)
+	for i := 0; i < p.N(); i++ {
+		sig := p.Cs[i] + p.Vel[i].Norm()
+		if sig <= 0 {
+			continue
+		}
+		if d := p.H[i] / sig; d < dt {
+			dt = d
+		}
+	}
+	if math.IsInf(dt, 1) {
+		dt = 1e-3
+	}
+	return s.Cfg.CFL * dt
+}
+
+// Step advances the system by one adaptive step (symplectic Euler with
+// Courant, acceleration and diffusion limits) and returns dt.
+func (s *Sim) Step() float64 {
+	p := s.P
+	s.computeForces()
+	dt := s.TimestepCFL()
+	for i := 0; i < p.N(); i++ {
+		if a := s.acc[i].Norm(); a > 0 {
+			if d := 0.3 * math.Sqrt(p.H[i]/a); d < dt {
+				dt = d
+			}
+		}
+	}
+	if s.maxDiffOverH2 > 0 {
+		if d := 0.2 / s.maxDiffOverH2; d < dt {
+			dt = d
+		}
+	}
+	n := p.N()
+	for i := 0; i < n; i++ {
+		p.Vel[i] = p.Vel[i].AddScaled(dt, s.acc[i])
+		p.Pos[i] = p.Pos[i].AddScaled(dt, p.Vel[i])
+		p.U[i] += dt * s.dudt[i]
+		if p.U[i] < 0 {
+			p.U[i] = 0
+		}
+		p.Enu[i] += dt * s.dnu[i]
+		if p.Enu[i] < 0 {
+			p.Enu[i] = 0
+		}
+	}
+	s.Time += dt
+	s.UpdateDensity()
+	return dt
+}
+
+// Diagnostics aggregates conservation quantities.
+type Diagnostics struct {
+	Kinetic, Thermal, Neutrino, Potential float64
+	Momentum, AngMom                      vec.V3
+	MaxRho                                float64
+	CentralVr                             float64 // mass-weighted radial velocity of the densest 10%
+}
+
+// Total returns the full energy budget.
+func (d Diagnostics) Total() float64 {
+	return d.Kinetic + d.Thermal + d.Neutrino + d.Potential
+}
+
+// Diag computes the current diagnostics (potential by tree, theta=0.3).
+func (s *Sim) Diag() Diagnostics {
+	p := s.P
+	var d Diagnostics
+	tr, err := htree.Build(p.Pos, p.Mass, htree.Options{MaxLeaf: 8})
+	if err != nil {
+		panic(err)
+	}
+	_, pot, _ := tr.AccelAll(0.3, s.Cfg.GravEps, false)
+	dense := make([]rhoi, p.N())
+	for i := 0; i < p.N(); i++ {
+		m := p.Mass[i]
+		d.Kinetic += 0.5 * m * p.Vel[i].Norm2()
+		d.Thermal += m * (p.U[i] + s.Cfg.EOS.ColdEnergy(p.Rho[i]))
+		d.Neutrino += m * p.Enu[i]
+		d.Potential += 0.5 * m * pot[i]
+		d.Momentum = d.Momentum.AddScaled(m, p.Vel[i])
+		d.AngMom = d.AngMom.Add(p.Pos[i].Cross(p.Vel[i]).Scale(m))
+		if p.Rho[i] > d.MaxRho {
+			d.MaxRho = p.Rho[i]
+		}
+		dense[i] = rhoi{p.Rho[i], i}
+	}
+	// central radial velocity: densest decile
+	sortByRho(dense)
+	top := dense[:maxInt(1, len(dense)/10)]
+	var vr, m float64
+	for _, e := range top {
+		i := e.i
+		r := p.Pos[i].Norm()
+		if r == 0 {
+			continue
+		}
+		vr += p.Mass[i] * p.Vel[i].Dot(p.Pos[i]) / r
+		m += p.Mass[i]
+	}
+	if m > 0 {
+		d.CentralVr = vr / m
+	}
+	return d
+}
+
+// rhoi pairs a density with its particle index for the central-velocity
+// diagnostic.
+type rhoi struct {
+	rho float64
+	i   int
+}
+
+func sortByRho(xs []rhoi) {
+	sort.Slice(xs, func(a, b int) bool { return xs[a].rho > xs[b].rho })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AngularMomentumByAngle bins the specific angular momentum |j| of mass by
+// polar angle from the rotation (z) axis: bin 0 is the pole, the last bin
+// the equator — the Figure 8 observable.
+func (s *Sim) AngularMomentumByAngle(bins int) []float64 {
+	p := s.P
+	jsum := make([]float64, bins)
+	msum := make([]float64, bins)
+	for i := 0; i < p.N(); i++ {
+		r := p.Pos[i].Norm()
+		if r == 0 {
+			continue
+		}
+		cosTheta := math.Abs(p.Pos[i][2]) / r
+		theta := math.Acos(math.Min(1, cosTheta)) // 0 at pole, pi/2 at equator
+		b := int(theta / (math.Pi / 2) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		// specific angular momentum about the rotation (z) axis -- the
+		// quantity Figure 8 colors by
+		jz := p.Pos[i][0]*p.Vel[i][1] - p.Pos[i][1]*p.Vel[i][0]
+		jsum[b] += p.Mass[i] * math.Abs(jz)
+		msum[b] += p.Mass[i]
+	}
+	out := make([]float64, bins)
+	for b := range out {
+		if msum[b] > 0 {
+			out[b] = jsum[b] / msum[b]
+		}
+	}
+	return out
+}
+
+// RotatingCollapseOptions configures the Figure 8 initial model.
+type RotatingCollapseOptions struct {
+	N int
+	// Omega is the solid-body rotation rate about z.
+	Omega float64
+	// PressureDeficit is the fraction of hydrostatic support removed to
+	// trigger collapse (0.5 = half supported).
+	PressureDeficit float64
+	// RhoNucOverMean sets the EOS stiffening density relative to the
+	// initial mean density (the bounce threshold, scaled down from the
+	// physical 10^4-10^5 so modest particle counts reach it).
+	RhoNucOverMean float64
+	Seed           int64
+}
+
+// NewRotatingCollapse builds the rotating pre-collapse core: a uniform
+// sphere of mass 1 and radius 1 (code units), under-pressured by the given
+// deficit, in solid-body rotation — the initial model whose collapse
+// channels angular momentum to the equator (Figure 8).
+func NewRotatingCollapse(opt RotatingCollapseOptions) *Sim {
+	if opt.N == 0 {
+		opt.N = 2000
+	}
+	if opt.RhoNucOverMean == 0 {
+		opt.RhoNucOverMean = 8
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := opt.N
+	p := &Particles{
+		Pos:  make([]vec.V3, n),
+		Vel:  make([]vec.V3, n),
+		Mass: make([]float64, n),
+		U:    make([]float64, n),
+		Enu:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		// uniform sphere via rejection
+		for {
+			v := vec.V3{2*rng.Float64() - 1, 2*rng.Float64() - 1, 2*rng.Float64() - 1}
+			if v.Norm2() <= 1 {
+				p.Pos[i] = v
+				break
+			}
+		}
+		p.Mass[i] = 1.0 / float64(n)
+		// solid-body rotation about z
+		p.Vel[i] = vec.V3{-opt.Omega * p.Pos[i][1], opt.Omega * p.Pos[i][0], 0}
+	}
+	// remove the sampling-noise center-of-mass position and velocity
+	var com, vcom vec.V3
+	for i := 0; i < n; i++ {
+		com = com.AddScaled(p.Mass[i], p.Pos[i])
+		vcom = vcom.AddScaled(p.Mass[i], p.Vel[i])
+	}
+	for i := 0; i < n; i++ {
+		p.Pos[i] = p.Pos[i].Sub(com)
+		p.Vel[i] = p.Vel[i].Sub(vcom)
+	}
+	rhoMean := 1.0 / (4.0 * math.Pi / 3.0)
+	// hydrostatic central pressure of a uniform sphere: (3/8pi) GM^2/R^4.
+	// The soft branch uses Gamma1 = 1.3 — below the 4/3 stability
+	// threshold, as electron capture makes the real iron core — so the
+	// pressure deficit deepens as the collapse proceeds instead of finding
+	// a new equilibrium.
+	const gamma1 = 1.3
+	pc := 3.0 / (8 * math.Pi)
+	k1 := (1 - opt.PressureDeficit) * pc / math.Pow(rhoMean, gamma1)
+	eos := NewEOS(k1, opt.RhoNucOverMean*rhoMean, gamma1, 2.5, 5.0/3.0)
+	fld := &FLD{C: 10, Kappa0: 40 / (opt.RhoNucOverMean * rhoMean), EmissRate: 0.5, RhoEmit: 5 * rhoMean}
+	cfg := DefaultConfig(eos, fld)
+	cfg.GravEps = 0.02
+	return NewSim(cfg, p)
+}
+
+// RunUntilBounce advances the collapse until the core reaches nuclear
+// density and the central radial velocity turns around (or maxSteps).
+// It returns the step count and whether bounce was detected.
+func (s *Sim) RunUntilBounce(maxSteps int) (int, bool) {
+	reachedNuc := false
+	for step := 1; step <= maxSteps; step++ {
+		s.Step()
+		d := s.Diag()
+		if d.MaxRho > s.Cfg.EOS.RhoNuc {
+			reachedNuc = true
+		}
+		if reachedNuc && d.CentralVr > 0 {
+			return step, true
+		}
+	}
+	return maxSteps, false
+}
+
+// String summarizes the simulation state.
+func (s *Sim) String() string {
+	d := s.Diag()
+	return fmt.Sprintf("t=%.4f N=%d maxRho=%.3g E=%.4f", s.Time, s.P.N(), d.MaxRho, d.Total())
+}

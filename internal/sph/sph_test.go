@@ -1,0 +1,254 @@
+package sph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spacesim/internal/vec"
+)
+
+// Kernel normalization: the volume integral of W must be 1.
+func TestKernelNormalization(t *testing.T) {
+	h := 0.7
+	dr := h / 400
+	sum := 0.0
+	for r := dr / 2; r < SupportRadius(h); r += dr {
+		sum += 4 * math.Pi * r * r * W(r, h) * dr
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("integral of W = %v", sum)
+	}
+}
+
+func TestKernelSupportAndSign(t *testing.T) {
+	h := 1.3
+	if W(SupportRadius(h)+1e-9, h) != 0 || DW(SupportRadius(h)+1e-9, h) != 0 {
+		t.Fatal("kernel must vanish outside support")
+	}
+	if W(0, h) <= 0 {
+		t.Fatal("W(0) must be positive")
+	}
+	f := func(u float64) bool {
+		r := math.Abs(math.Mod(u, 2)) * h
+		return DW(r, h) <= 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal("DW must be non-positive:", err)
+	}
+}
+
+// DW is the derivative of W (finite-difference check).
+func TestKernelDerivative(t *testing.T) {
+	h := 0.9
+	for _, r := range []float64{0.2, 0.7, 1.1, 1.7} {
+		rr := r * h
+		eps := 1e-6
+		fd := (W(rr+eps, h) - W(rr-eps, h)) / (2 * eps)
+		if math.Abs(fd-DW(rr, h)) > 1e-5 {
+			t.Fatalf("r=%v: fd %v vs DW %v", r, fd, DW(rr, h))
+		}
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pos := make([]vec.V3, 500)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	radius := 0.15
+	g := BuildGrid(pos, radius)
+	var nbr []int32
+	for trial := 0; trial < 20; trial++ {
+		p := pos[rng.Intn(len(pos))]
+		nbr = g.Neighbors(pos, p, radius, nbr[:0])
+		got := map[int32]bool{}
+		for _, j := range nbr {
+			got[j] = true
+		}
+		for j := range pos {
+			want := pos[j].Sub(p).Norm() <= radius
+			if want != got[int32(j)] {
+				t.Fatalf("neighbor mismatch at %d: want %v", j, want)
+			}
+		}
+	}
+}
+
+// Density of a uniform particle lattice must be near the analytic value.
+func TestDensityUniform(t *testing.T) {
+	var pos []vec.V3
+	const k = 10
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			for z := 0; z < k; z++ {
+				pos = append(pos, vec.V3{float64(x), float64(y), float64(z)}.Scale(1.0/k))
+			}
+		}
+	}
+	n := len(pos)
+	p := &Particles{Pos: pos, Vel: make([]vec.V3, n), Mass: make([]float64, n),
+		U: make([]float64, n), Enu: make([]float64, n)}
+	for i := range p.Mass {
+		p.Mass[i] = 1.0 / float64(n)
+	}
+	eos := NewEOS(0.1, 100, 4.0/3.0, 2.5, 5.0/3.0)
+	s := NewSim(DefaultConfig(eos, nil), p)
+	// interior particles: expect rho ~ 1 (unit mass in unit volume)
+	count, sum := 0, 0.0
+	for i := range pos {
+		interior := true
+		for c := 0; c < 3; c++ {
+			if pos[i][c] < 0.25 || pos[i][c] > 0.75 {
+				interior = false
+			}
+		}
+		if interior {
+			sum += s.P.Rho[i]
+			count++
+		}
+	}
+	mean := sum / float64(count)
+	if math.Abs(mean-1.0) > 0.08 {
+		t.Fatalf("interior density = %v want ~1", mean)
+	}
+}
+
+func TestEOSContinuityAndStiffening(t *testing.T) {
+	eos := NewEOS(0.5, 2.0, 4.0/3.0, 2.5, 5.0/3.0)
+	below := eos.Cold(2.0 - 1e-9)
+	above := eos.Cold(2.0 + 1e-9)
+	if math.Abs(below-above)/below > 1e-6 {
+		t.Fatalf("pressure discontinuity at rhoNuc: %v vs %v", below, above)
+	}
+	// stiff branch grows much faster
+	softSlope := eos.Cold(1.9) / eos.Cold(1.8)
+	stiffSlope := eos.Cold(4.0) / eos.Cold(3.8)
+	if stiffSlope <= softSlope {
+		t.Fatal("stiff branch must steepen")
+	}
+	// thermal part adds pressure
+	if eos.Pressure(1.0, 0.5) <= eos.Cold(1.0) {
+		t.Fatal("thermal pressure missing")
+	}
+	if eos.SoundSpeed(1.0, 0.1) <= 0 {
+		t.Fatal("sound speed must be positive")
+	}
+	// cold energy increases with density
+	if eos.ColdEnergy(3.0) <= eos.ColdEnergy(1.0) {
+		t.Fatal("cold energy must grow")
+	}
+}
+
+// The Levermore-Pomraning limiter: 1/3 in the opaque limit, -> 0 like 1/R
+// when transparent (so |F| <= cE).
+func TestFluxLimiter(t *testing.T) {
+	opaque, transparent := OpticalDepthRegimes()
+	if math.Abs(opaque-1.0/3.0) > 1e-12 {
+		t.Fatalf("opaque limit = %v want 1/3", opaque)
+	}
+	if transparent > 1e-8 {
+		t.Fatalf("transparent limit = %v want ~0", transparent)
+	}
+	f := func(u float64) bool {
+		r := math.Abs(math.Mod(u, 1e6))
+		l := FluxLimiter(r)
+		// bounded and causal: lambda <= 1/3 and lambda*R <= 1
+		return l > 0 && l <= 1.0/3.0+1e-12 && l*r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFLDCausality(t *testing.T) {
+	fld := &FLD{C: 10, Kappa0: 5, EmissRate: 0.1, RhoEmit: 1}
+	f := func(rho, e, g float64) bool {
+		rho = 0.1 + math.Abs(math.Mod(rho, 10))
+		e = 0.01 + math.Abs(math.Mod(e, 10))
+		g = math.Abs(math.Mod(g, 1e4))
+		return fld.FreeStreamBound(rho, e, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline physics test: a rotating under-pressured core collapses,
+// reaches nuclear density, bounces, conserves momentum and angular
+// momentum, keeps an acceptable energy budget, and channels specific
+// angular momentum to the equator (Figure 8: the polar cone carries orders
+// of magnitude less than the equatorial belt).
+func TestRotatingCollapseBounceAndFig8(t *testing.T) {
+	s := NewRotatingCollapse(RotatingCollapseOptions{
+		N: 1200, Omega: 0.3, PressureDeficit: 0.85, Seed: 3,
+	})
+	d0 := s.Diag()
+	steps, bounced := s.RunUntilBounce(250)
+	if !bounced {
+		t.Fatalf("no bounce within %d steps (maxRho %.3g, nuc %.3g)",
+			steps, s.Diag().MaxRho, s.Cfg.EOS.RhoNuc)
+	}
+	d1 := s.Diag()
+	// conservation: momentum drift stays small (tree gravity is not
+	// exactly pairwise-symmetric, so drift is bounded by the MAC error)
+	if d0.Momentum.Norm() > 1e-10 {
+		t.Fatalf("initial momentum %v should vanish after COM removal", d0.Momentum)
+	}
+	if d1.Momentum.Sub(d0.Momentum).Norm() > 2e-2 {
+		t.Fatalf("momentum drift %v", d1.Momentum.Sub(d0.Momentum))
+	}
+	lzDrift := math.Abs(d1.AngMom[2]-d0.AngMom[2]) / math.Abs(d0.AngMom[2])
+	if lzDrift > 0.02 {
+		t.Fatalf("Lz drift %.3f", lzDrift)
+	}
+	// energy budget: |E1 - E0| within 10% of |U0| (artificial viscosity
+	// heats, neutrinos shuffle energy internally; nothing leaves the box)
+	scale := math.Abs(d0.Total()) + d0.Kinetic - d0.Potential
+	if math.Abs(d1.Total()-d0.Total()) > 0.12*scale {
+		t.Fatalf("energy budget drift: %v -> %v", d0.Total(), d1.Total())
+	}
+	// the collapse actually compressed the core
+	if d1.MaxRho < 5*d0.MaxRho {
+		t.Fatalf("core density only %v -> %v", d0.MaxRho, d1.MaxRho)
+	}
+	// Figure 8: equatorial specific j dominates the polar cone
+	prof := s.AngularMomentumByAngle(6)
+	pole, equator := prof[0], prof[5]
+	if equator < 20*pole {
+		t.Fatalf("equator/pole specific-j ratio = %.1f, want >> 1 (Fig 8: ~2 orders)", equator/pole)
+	}
+	// neutrinos were produced in the hot core
+	if d1.Neutrino <= 0 {
+		t.Fatal("no neutrino energy produced during collapse")
+	}
+}
+
+// Without rotation the collapse must stay near spherical: the j profile is
+// noise and carries no equatorial concentration.
+func TestNonRotatingCollapseIsotropy(t *testing.T) {
+	s := NewRotatingCollapse(RotatingCollapseOptions{
+		N: 800, Omega: 0, PressureDeficit: 0.85, Seed: 5,
+	})
+	s.RunUntilBounce(120)
+	d := s.Diag()
+	if d.AngMom.Norm() > 1e-2 {
+		t.Fatalf("non-rotating run grew angular momentum %v", d.AngMom)
+	}
+}
+
+func TestTimestepPositive(t *testing.T) {
+	s := NewRotatingCollapse(RotatingCollapseOptions{N: 300, Omega: 0.2, PressureDeficit: 0.5, Seed: 7})
+	dt := s.TimestepCFL()
+	if dt <= 0 || math.IsInf(dt, 0) || math.IsNaN(dt) {
+		t.Fatalf("dt = %v", dt)
+	}
+	if got := s.Step(); got <= 0 {
+		t.Fatalf("step dt = %v", got)
+	}
+	if s.Time <= 0 {
+		t.Fatal("time must advance")
+	}
+}

@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"testing"
+
+	"spacesim/internal/machine"
+)
+
+func TestRunMeasuresAndVerifies(t *testing.T) {
+	res, err := Run(1_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("want 4 kernels, got %d", len(res))
+	}
+	for _, r := range res {
+		if r.MBps <= 0 {
+			t.Fatalf("%s: nonpositive rate", r.Kernel)
+		}
+		if !r.Checked {
+			t.Fatalf("%s: not verified", r.Kernel)
+		}
+	}
+}
+
+func TestRunRejectsTinyArrays(t *testing.T) {
+	if _, err := Run(10, 1); err == nil {
+		t.Fatal("tiny arrays must be rejected")
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	if Copy.BytesPerElem() != 16 || Triad.BytesPerElem() != 24 {
+		t.Fatal("bytes per element wrong")
+	}
+	if Copy.FlopsPerElem() != 0 || Triad.FlopsPerElem() != 2 {
+		t.Fatal("flops per element wrong")
+	}
+	names := map[Kernel]string{Copy: "copy", Scale: "scale", Add: "add", Triad: "triad"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q", int(k), k.String())
+		}
+	}
+}
+
+// Table 2, "normal" row: the modeled SS node reproduces the measured STREAM
+// figures within 1%.
+func TestModelMatchesPaperNormal(t *testing.T) {
+	res := Model(machine.SpaceSimulatorNode)
+	paper := map[Kernel]float64{Copy: 1203.5, Scale: 1201.8, Add: 1237.2, Triad: 1238.2}
+	for _, r := range res {
+		want := paper[r.Kernel]
+		if rel := (r.MBps - want) / want; rel > 0.01 || rel < -0.01 {
+			t.Fatalf("%s: modeled %.1f want %.1f", r.Kernel, r.MBps, want)
+		}
+	}
+}
+
+// Table 2, "slow mem" row: scaling memory to 0.6 scales STREAM by ~0.6
+// (paper: 0.61-0.63).
+func TestModelSlowMemRatio(t *testing.T) {
+	slow := Model(machine.SpaceSimulatorNode.Scaled(1.0, 0.6))
+	norm := Model(machine.SpaceSimulatorNode)
+	for i := range slow {
+		ratio := slow[i].MBps / norm[i].MBps
+		if ratio < 0.59 || ratio > 0.64 {
+			t.Fatalf("%s slow-mem ratio %.3f, paper ~0.6", slow[i].Kernel, ratio)
+		}
+	}
+}
+
+func BenchmarkTriad(b *testing.B) {
+	n := 1_000_000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = 1, 2
+	}
+	b.SetBytes(int64(24 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range z {
+			z[j] = x[j] + 3.0*y[j]
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantsSanity(t *testing.T) {
+	// G M_sun / c^2 = half the solar Schwarzschild radius ~ 1.48 km.
+	rg := G * MSun / (C * C)
+	if math.Abs(rg-1.476e5)/1.476e5 > 0.01 {
+		t.Fatalf("GM/c^2 = %v cm", rg)
+	}
+	// a = 4 sigma / c
+	if math.Abs(ARad-7.566e-15)/7.566e-15 > 0.01 {
+		t.Fatalf("radiation constant = %v", ARad)
+	}
+	if Megaparsec/Parsec != 1e6 {
+		t.Fatal("Mpc/pc")
+	}
+}
+
+func TestHubbleAndCriticalDensity(t *testing.T) {
+	// H0 = 100 km/s/Mpc corresponds to ~9.78 Gyr Hubble time.
+	tH := 1 / H100 / Gyr
+	if math.Abs(tH-9.78)/9.78 > 0.01 {
+		t.Fatalf("Hubble time = %v Gyr", tH)
+	}
+	// rho_crit/h^2 ~ 1.878e-29 g/cm^3
+	if math.Abs(RhoCritH2-1.878e-29)/1.878e-29 > 0.01 {
+		t.Fatalf("rho_crit = %v", RhoCritH2)
+	}
+}
+
+func TestNBodySystemScalings(t *testing.T) {
+	// Galactic units: 1e11 Msun, 1 kpc => velocity unit ~ 655 km/s,
+	// time unit ~ 1.5 Myr.
+	v := GalacticUnits.VelocityCMS() / KmPerSec
+	if v < 600 || v > 700 {
+		t.Fatalf("galactic velocity unit = %v km/s", v)
+	}
+	tu := GalacticUnits.TimeSec() / (1e6 * Year)
+	if tu < 1.2 || tu > 1.8 {
+		t.Fatalf("galactic time unit = %v Myr", tu)
+	}
+	// supernova units: time ~ ms-scale dynamics
+	ts := SupernovaUnits.TimeSec()
+	if ts < 1e-3 || ts > 1 {
+		t.Fatalf("supernova time unit = %v s", ts)
+	}
+	// dimensional consistency: E = M V^2
+	e := SupernovaUnits.EnergyErg()
+	v2 := SupernovaUnits.VelocityCMS()
+	if math.Abs(e-MSun*v2*v2)/e > 1e-12 {
+		t.Fatal("energy unit inconsistent")
+	}
+}

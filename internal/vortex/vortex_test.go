@@ -1,0 +1,137 @@
+package vortex
+
+import (
+	"math"
+	"testing"
+
+	"spacesim/internal/vec"
+)
+
+// The field of a long straight filament at mid-height matches the
+// two-dimensional line-vortex law u_theta = gamma/(2 pi d).
+func TestFilamentField(t *testing.T) {
+	gamma := 2.0
+	s := NewFilament(gamma, 200.0, 4000, 0.02)
+	for _, d := range []float64{0.5, 1.0, 2.0} {
+		u := s.VelocityAt(vec.V3{d, 0, 0})
+		want := gamma / (2 * math.Pi * d)
+		// velocity must be purely azimuthal (+y here for +z circulation)
+		if math.Abs(u[0]) > 1e-10 || math.Abs(u[2]) > 1e-10 {
+			t.Fatalf("d=%v: non-azimuthal components %v", d, u)
+		}
+		if math.Abs(u[1]-want)/want > 0.01 {
+			t.Fatalf("d=%v: u=%v want %v", d, u[1], want)
+		}
+	}
+}
+
+// The regularized kernel kills the singularity: velocity stays finite and
+// goes to zero at a particle's own position neighborhood.
+func TestCoreRegularization(t *testing.T) {
+	s := NewFilament(1, 100, 2000, 0.1)
+	uNear := s.VelocityAt(vec.V3{1e-4, 0, 0}).Norm()
+	uCore := s.VelocityAt(vec.V3{0.05, 0, 0}).Norm()
+	uFar := s.VelocityAt(vec.V3{1, 0, 0}).Norm()
+	if uNear > uCore {
+		t.Fatalf("field not regularized: |u(1e-4)|=%v > |u(0.05)|=%v", uNear, uCore)
+	}
+	if uFar <= 0 {
+		t.Fatal("far field missing")
+	}
+}
+
+// The induced velocity field is divergence-free (numerical check at
+// sample points away from cores).
+func TestDivergenceFree(t *testing.T) {
+	s := NewRing(1.0, 1.0, 0, 64, 0.1)
+	h := 1e-4
+	for _, x := range []vec.V3{{0.3, 0.2, 0.4}, {1.5, -0.5, 0.2}, {0, 0, 1}} {
+		div := 0.0
+		for c := 0; c < 3; c++ {
+			var e vec.V3
+			e[c] = h
+			up := s.VelocityAt(x.Add(e))
+			dn := s.VelocityAt(x.Sub(e))
+			div += (up[c] - dn[c]) / (2 * h)
+		}
+		if math.Abs(div) > 1e-4 {
+			t.Fatalf("div u = %v at %v", div, x)
+		}
+	}
+}
+
+// A thin ring self-propels along its axis at near the classical speed.
+func TestRingSelfPropulsion(t *testing.T) {
+	r, gamma, sigma := 1.0, 1.0, 0.05
+	s := NewRing(r, gamma, 0, 128, sigma)
+	z0 := s.RingCentroid(0, 128)[2]
+	dt := 0.05
+	steps := 40
+	for i := 0; i < steps; i++ {
+		s.Step(dt)
+	}
+	z1 := s.RingCentroid(0, 128)[2]
+	speed := (z1 - z0) / (dt * float64(steps))
+	want := RingSpeedThin(gamma, r, sigma)
+	if speed <= 0 {
+		t.Fatalf("ring moved backwards: %v", speed)
+	}
+	if math.Abs(speed-want)/want > 0.3 {
+		t.Fatalf("ring speed %v, thin-ring estimate %v", speed, want)
+	}
+	// the radius stays nearly constant (no stretching for a single ring)
+	if rr := s.RingRadius(0, 128); math.Abs(rr-r) > 0.05 {
+		t.Fatalf("ring radius drifted to %v", rr)
+	}
+}
+
+// Two coaxial rings leapfrog: the trailing ring contracts... in the
+// classical inviscid game the rear ring shrinks the front... we verify the
+// robust invariants: both advance, total strength stays zero, and linear
+// impulse is conserved.
+func TestLeapfroggingRingsInvariants(t *testing.T) {
+	m := 96
+	s := NewRing(1.0, 1.0, 0, m, 0.08)
+	s2 := NewRing(1.0, 1.0, 0.6, m, 0.08)
+	s.P = append(s.P, s2.P...)
+	if s.TotalStrength().Norm() > 1e-12 {
+		t.Fatal("closed rings must have zero net strength")
+	}
+	i0 := s.LinearImpulse()
+	zA0 := s.RingCentroid(0, m)[2]
+	zB0 := s.RingCentroid(1, m)[2]
+	for i := 0; i < 30; i++ {
+		s.Step(0.05)
+	}
+	if s.TotalStrength().Norm() > 1e-12 {
+		t.Fatal("advection must preserve strengths")
+	}
+	i1 := s.LinearImpulse()
+	if i1.Sub(i0).Norm() > 0.02*i0.Norm() {
+		t.Fatalf("impulse drift %v -> %v", i0, i1)
+	}
+	zA1 := s.RingCentroid(0, m)[2]
+	zB1 := s.RingCentroid(1, m)[2]
+	if zA1 <= zA0 || zB1 <= zB0 {
+		t.Fatalf("rings did not advance: %v->%v, %v->%v", zA0, zA1, zB0, zB1)
+	}
+	// mutual induction makes the pair faster than an isolated ring
+	pairSpeed := ((zA1 - zA0) + (zB1 - zB0)) / 2 / 1.5
+	solo := NewRing(1.0, 1.0, 0, m, 0.08)
+	z0 := solo.RingCentroid(0, m)[2]
+	for i := 0; i < 30; i++ {
+		solo.Step(0.05)
+	}
+	soloSpeed := (solo.RingCentroid(0, m)[2] - z0) / 1.5
+	if pairSpeed <= soloSpeed {
+		t.Fatalf("pair speed %v should exceed solo %v", pairSpeed, soloSpeed)
+	}
+}
+
+func BenchmarkBiotSavart1k(b *testing.B) {
+	s := NewRing(1, 1, 0, 1000, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.VelocityAt(vec.V3{0.5, 0.5, 0.5})
+	}
+}
