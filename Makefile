@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench all
+
+all: build test vet fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with host concurrency (the grouped
+# force engine's worker pool and the rank goroutines).
+race:
+	$(GO) test -race ./internal/core/... ./internal/gravity/... ./internal/htree/... ./internal/mp/...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Times the per-body vs bucket-grouped treewalk on a 32k Plummer sphere and
+# writes the comparison to BENCH_treecode.json.
+bench:
+	$(GO) run ./cmd/ssbench group -o BENCH_treecode.json

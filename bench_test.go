@@ -17,6 +17,7 @@ import (
 	"spacesim/internal/core"
 	"spacesim/internal/cosmo"
 	"spacesim/internal/hpl"
+	"spacesim/internal/htree"
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
 	"spacesim/internal/npb"
@@ -24,6 +25,7 @@ import (
 	"spacesim/internal/perfmodel"
 	"spacesim/internal/reliability"
 	"spacesim/internal/sph"
+	"spacesim/internal/vec"
 )
 
 func ss() machine.Cluster { return machine.SpaceSimulator(netsim.ProfileLAM) }
@@ -277,6 +279,62 @@ func BenchmarkMooresLaw(b *testing.B) {
 		vs = cluster.TreecodeMoore().ImprovementVsPredicted
 	}
 	b.ReportMetric(vs, "treecode-vs-Moore")
+}
+
+// treewalkTree builds the 32k-particle Plummer tree shared by the treewalk
+// engine benchmarks.
+func treewalkTree(b *testing.B) *htree.Tree {
+	rng := rand.New(rand.NewSource(5))
+	ics := core.PlummerSphere(rng, 32768, 1.0)
+	pos := make([]vec.V3, len(ics))
+	mass := make([]float64, len(ics))
+	for i := range ics {
+		pos[i], mass[i] = ics[i].Pos, ics[i].Mass
+	}
+	tr, err := htree.Build(pos, mass, htree.Options{MaxLeaf: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTreewalkPerBody32k is the seed engine: one tree walk per body.
+func BenchmarkTreewalkPerBody32k(b *testing.B) {
+	tr := treewalkTree(b)
+	b.ResetTimer()
+	var inter int
+	for i := 0; i < b.N; i++ {
+		_, _, st := tr.AccelAll(0.7, 0.01, true)
+		inter = st.CellInteractions + st.BodyInteractions
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*len(tr.Bodies))*1e9, "ns/body")
+	b.ReportMetric(float64(b.N*inter)/b.Elapsed().Seconds()/1e6, "Minter/s")
+}
+
+// BenchmarkTreewalkGrouped32k is the bucket-grouped engine with batched SoA
+// kernels (single worker, so the speedup over the per-body benchmark is
+// algorithmic, not parallelism).
+func BenchmarkTreewalkGrouped32k(b *testing.B) {
+	tr := treewalkTree(b)
+	b.ResetTimer()
+	var inter int
+	for i := 0; i < b.N; i++ {
+		_, _, st := tr.AccelAllGrouped(0.7, 0.01, true, 1)
+		inter = st.CellInteractions + st.BodyInteractions
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*len(tr.Bodies))*1e9, "ns/body")
+	b.ReportMetric(float64(b.N*inter)/b.Elapsed().Seconds()/1e6, "Minter/s")
+}
+
+// BenchmarkTreewalkGroupedWorkers32k fans the grouped walk over every host
+// core.
+func BenchmarkTreewalkGroupedWorkers32k(b *testing.B) {
+	tr := treewalkTree(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AccelAllGrouped(0.7, 0.01, true, 0)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*len(tr.Bodies))*1e9, "ns/body")
 }
 
 // BenchmarkAblationKarpVsLibm contrasts the two kernel variants under the

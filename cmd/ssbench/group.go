@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"spacesim/internal/core"
+	"spacesim/internal/htree"
+	"spacesim/internal/vec"
+)
+
+var benchOut = flag.String("o", "BENCH_treecode.json", "output path for the group benchmark JSON record")
+
+// groupResult is one timed force-evaluation configuration.
+type groupResult struct {
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	Seconds      float64 `json:"seconds"`
+	NsPerBody    float64 `json:"ns_per_body"`
+	NsPerInter   float64 `json:"ns_per_interaction"`
+	Interactions int64   `json:"interactions"`
+	InterPerSec  float64 `json:"interactions_per_sec"`
+}
+
+// groupReport is the BENCH_treecode.json payload.
+type groupReport struct {
+	N               int           `json:"n"`
+	Theta           float64       `json:"theta"`
+	Eps             float64       `json:"eps"`
+	MaxLeaf         int           `json:"max_leaf"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
+	Results         []groupResult `json:"results"`
+	SpeedupW1       float64       `json:"speedup_grouped_w1_vs_per_body"`
+	SpeedupWN       float64       `json:"speedup_grouped_wn_vs_per_body"`
+	RmsDiffW1       float64       `json:"rms_acc_diff_grouped_vs_per_body"`
+	MaxPotDiffRel   float64       `json:"max_rel_pot_diff_grouped_vs_per_body"`
+	NsPerInterRatio float64       `json:"ns_per_interaction_per_body_over_grouped_w1"`
+}
+
+// groupBench times the per-body treewalk against the bucket-grouped one on a
+// Plummer sphere and records the comparison in BENCH_treecode.json.
+func groupBench() {
+	n := 32768
+	if *quick {
+		n = 4096
+	}
+	theta, eps, maxLeaf := 0.7, 0.01, 16
+	rng := rand.New(rand.NewSource(1))
+	ics := core.PlummerSphere(rng, n, 1.0)
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i, b := range ics {
+		pos[i], mass[i] = b.Pos, b.Mass
+	}
+	tr, err := htree.Build(pos, mass, htree.Options{MaxLeaf: maxLeaf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "group: tree build:", err)
+		os.Exit(1)
+	}
+
+	// best-of-3 wall time for each engine
+	const reps = 3
+	time3 := func(f func() (acc []vec.V3, pot []float64, inter int64)) (float64, []vec.V3, []float64, int64) {
+		best := math.Inf(1)
+		var acc []vec.V3
+		var pot []float64
+		var inter int64
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			acc, pot, inter = f()
+			if dt := time.Since(t0).Seconds(); dt < best {
+				best = dt
+			}
+		}
+		return best, acc, pot, inter
+	}
+
+	tP, accP, potP, interP := time3(func() ([]vec.V3, []float64, int64) {
+		a, p, st := tr.AccelAll(theta, eps, true)
+		return a, p, int64(st.CellInteractions + st.BodyInteractions)
+	})
+	t1, acc1, pot1, inter1 := time3(func() ([]vec.V3, []float64, int64) {
+		a, p, st := tr.AccelAllGrouped(theta, eps, true, 1)
+		return a, p, int64(st.CellInteractions + st.BodyInteractions)
+	})
+	nw := runtime.GOMAXPROCS(0)
+	tN, accN, potN, interN := time3(func() ([]vec.V3, []float64, int64) {
+		a, p, st := tr.AccelAllGrouped(theta, eps, true, nw)
+		return a, p, int64(st.CellInteractions + st.BodyInteractions)
+	})
+
+	// accuracy cross-checks
+	var sum2, ref2, maxPot float64
+	for i := range accP {
+		sum2 += acc1[i].Sub(accP[i]).Norm2()
+		ref2 += accP[i].Norm2()
+		if d := math.Abs(pot1[i]-potP[i]) / (1 + math.Abs(potP[i])); d > maxPot {
+			maxPot = d
+		}
+	}
+	rms := math.Sqrt(sum2 / ref2)
+	for i := range accN {
+		if accN[i] != acc1[i] || potN[i] != pot1[i] {
+			fmt.Fprintf(os.Stderr, "group: workers=%d result differs from workers=1 at body %d\n", nw, i)
+			os.Exit(1)
+		}
+	}
+
+	mk := func(engine string, workers int, sec float64, inter int64) groupResult {
+		return groupResult{
+			Engine: engine, Workers: workers, Seconds: sec,
+			NsPerBody:    sec / float64(n) * 1e9,
+			NsPerInter:   sec / float64(inter) * 1e9,
+			Interactions: inter,
+			InterPerSec:  float64(inter) / sec,
+		}
+	}
+	rep := groupReport{
+		N: n, Theta: theta, Eps: eps, MaxLeaf: maxLeaf, GOMAXPROCS: nw,
+		Results: []groupResult{
+			mk("per-body", 1, tP, interP),
+			mk("grouped", 1, t1, inter1),
+			mk("grouped", nw, tN, interN),
+		},
+		SpeedupW1:       tP / t1,
+		SpeedupWN:       tP / tN,
+		RmsDiffW1:       rms,
+		MaxPotDiffRel:   maxPot,
+		NsPerInterRatio: (tP / float64(interP)) / (t1 / float64(inter1)),
+	}
+
+	fmt.Printf("bucket-grouped treewalk, Plummer N=%d, theta=%.2f, leaf=%d (best of %d)\n", n, theta, maxLeaf, reps)
+	fmt.Printf("%-10s %8s %10s %10s %10s %14s\n", "engine", "workers", "time", "ns/body", "ns/inter", "inter/s")
+	for _, r := range rep.Results {
+		fmt.Printf("%-10s %8d %9.3fs %10.1f %10.2f %14.3e\n",
+			r.Engine, r.Workers, r.Seconds, r.NsPerBody, r.NsPerInter, r.InterPerSec)
+	}
+	fmt.Printf("speedup grouped/per-body: %.2fx (1 worker), %.2fx (%d workers)\n", rep.SpeedupW1, rep.SpeedupWN, nw)
+	fmt.Printf("ns/interaction ratio (per-body / grouped w1): %.2fx\n", rep.NsPerInterRatio)
+	fmt.Printf("accuracy: rms acc diff %.2e, max rel pot diff %.2e; workers=%d bit-identical to workers=1\n",
+		rep.RmsDiffW1, rep.MaxPotDiffRel, nw)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "group: marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "group: write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *benchOut)
+}

@@ -7,7 +7,7 @@
 //	ssbench <experiment> [flags]
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig2 fig3
-// fig4 fig5 fig6 fig7 fig8 switch spec reliability moore all
+// fig4 fig5 fig6 fig7 fig8 group switch spec reliability moore all
 package main
 
 import (
@@ -58,6 +58,7 @@ func main() {
 		"fig6":        fig6,
 		"fig7":        fig7,
 		"fig8":        fig8,
+		"group":       groupBench,
 		"switch":      switchBackplane,
 		"spec":        spec,
 		"reliability": reliabilityReport,
@@ -85,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] <table1|table2|...|fig8|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] <table1|table2|...|fig8|group|switch|spec|reliability|moore|all>")
 }
 
 func header(s string) {

@@ -57,14 +57,80 @@ type DTree struct {
 	local  *htree.Tree        // may be nil when the rank holds no bodies
 	remote map[key.K]cellInfo // fills + replicated branches + fetched cells
 
-	// bodyCache holds fetched remote leaf bodies by cell key.
+	// bodyCache holds fetched remote leaf bodies by cell key, bounded by
+	// bodyCacheCap and cleared at the start of every force evaluation.
 	bodyCache map[key.K][]gravity.Source
 
-	// fetching tracks in-flight expansion requests: key -> walkers waiting.
-	fetching map[key.K][]*walker
+	// fetchedCells records keys added to remote by fetch replies (as opposed
+	// to the persistent branch/fill cells), so resetCaches can prune them.
+	fetchedCells []key.K
+
+	// fetching tracks in-flight expansion requests: key -> continuations
+	// waiting on the reply. It deduplicates concurrent requests: whichever
+	// walker asks first triggers the one ABM request, later walkers for the
+	// same key just append their continuation.
+	fetching map[key.K][]func(fetchReply)
+
+	// lstack is the per-body engine's shared local-walk stack scratch.
+	lstack []key.K
 
 	// counters
 	fetches int64
+}
+
+// bodyCacheCap bounds the fetched-leaf-bodies cache. Once full, further
+// fetched leaves are consumed but not retained; repeated demand for them
+// re-fetches. With MaxLeaf-sized leaves this caps the cache near
+// bodyCacheCap*MaxLeaf bodies.
+const bodyCacheCap = 1 << 14
+
+// resetCaches drops the transient per-evaluation state: the fetched-bodies
+// cache and every remote-cell entry that arrived through a fetch rather
+// than the branch exchange. Without this, repeated force evaluations on a
+// long-lived tree grow both tables without bound.
+func (dt *DTree) resetCaches() {
+	for k := range dt.bodyCache {
+		delete(dt.bodyCache, k)
+	}
+	for _, k := range dt.fetchedCells {
+		delete(dt.remote, k)
+	}
+	dt.fetchedCells = dt.fetchedCells[:0]
+}
+
+// requestCell asks the owner of cell k for its expansion, invoking onReply
+// when the data arrives during a Poll. Replies populate the remote-cell
+// table and bodies cache so later walkers are served locally.
+func (dt *DTree) requestCell(k key.K, owner int, st *TraversalStats, onReply func(fetchReply)) {
+	waiters, inFlight := dt.fetching[k]
+	dt.fetching[k] = append(waiters, onReply)
+	if inFlight {
+		return
+	}
+	st.Fetches++
+	dt.fetches++
+	dt.abm.Request(owner, hFetch, k, 8, func(resp any) {
+		reply := resp.(fetchReply)
+		// Cache so future walkers don't re-fetch.
+		if reply.Bodies != nil {
+			info := dt.remote[k]
+			info.Leaf = true
+			dt.remote[k] = info
+			dt.bodiesCacheSet(k, reply.Bodies)
+		} else {
+			for _, c := range reply.Children {
+				if _, ok := dt.remote[c.Key]; !ok {
+					dt.fetchedCells = append(dt.fetchedCells, c.Key)
+				}
+				dt.remote[c.Key] = c
+			}
+		}
+		ws := dt.fetching[k]
+		delete(dt.fetching, k)
+		for _, fn := range ws {
+			fn(reply)
+		}
+	})
 }
 
 // BuildDistributed constructs the per-rank tree over the (already
@@ -76,7 +142,8 @@ func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3
 		boxLo: boxLo, boxSize: boxSize,
 		splitters: splitters,
 		remote:    map[key.K]cellInfo{},
-		fetching:  map[key.K][]*walker{},
+		bodyCache: map[key.K][]gravity.Source{},
+		fetching:  map[key.K][]func(fetchReply){},
 	}
 	dt.abm = mp.NewABM(r)
 	dt.abm.Handle(hFetch, dt.serveFetch)
@@ -230,6 +297,10 @@ func (dt *DTree) exchangeBranches() {
 				}
 				continue
 			}
+			// Parts accumulate in map-iteration order; sort by key so the
+			// multipole combination order — and therefore every fill moment
+			// bit — is identical from run to run.
+			sort.Slice(a.parts, func(i, j int) bool { return a.parts[i].Key < a.parts[j].Key })
 			mps := make([]gravity.Multipole, len(a.parts))
 			n := 0
 			for i, p := range a.parts {
@@ -295,6 +366,20 @@ func (dt *DTree) serveFetch(src int, req any) (any, int64) {
 		})
 	}
 	return fetchReply{Children: children}, int64(cellInfoWireBytes * len(children))
+}
+
+// bodiesCacheSet retains fetched remote leaf bodies keyed by cell, up to
+// bodyCacheCap entries; beyond that the reply is used but not cached.
+func (dt *DTree) bodiesCacheSet(k key.K, src []gravity.Source) {
+	if len(dt.bodyCache) >= bodyCacheCap {
+		return
+	}
+	dt.bodyCache[k] = src
+}
+
+func (dt *DTree) bodiesCacheGet(k key.K) ([]gravity.Source, bool) {
+	src, ok := dt.bodyCache[k]
+	return src, ok
 }
 
 // Fetches returns the number of remote expansion requests issued.

@@ -1,0 +1,338 @@
+package core
+
+// The bucket-grouped force engine (2HOT's grouped walk, Warren SC'13): one
+// walker per local leaf bucket traverses the distributed tree once, testing
+// the MAC against the bucket's bounding sphere — distance measured from the
+// leaf center of mass, opening radius widened by the leaf Bmax — so every
+// accepted cell satisfies the per-body criterion for all sinks in the
+// bucket and the per-body error bound is preserved. The walk accumulates an
+// interaction list (accepted cell multipoles + direct-interaction bodies in
+// SoA layout); completed lists are evaluated for the whole bucket by the
+// batched kernels on a pool of host workers.
+//
+// Determinism rule: the traversal, interaction counting and virtual-time
+// charging all run on the rank's own goroutine in bucket order; workers
+// only evaluate finished lists into disjoint output ranges, and on
+// multi-rank runs each list is sorted into a canonical order first. The
+// result is therefore bit-identical for any Workers count, and independent
+// of the order in which fetch replies happened to arrive.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/htree"
+	"spacesim/internal/key"
+	"spacesim/internal/vec"
+)
+
+// bucketScratch holds one bucket's reusable traversal and evaluation
+// buffers. Instances recycle through a pool across buckets, steps and tree
+// rebuilds, so steady-state force evaluation allocates almost nothing.
+type bucketScratch struct {
+	stack          []key.K
+	lstack         []key.K
+	cells          []gravity.Multipole
+	srcs           gravity.SoA
+	sx, sy, sz     []float64
+	ax, ay, az, pp []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(bucketScratch) }}
+
+// grow sizes the sink-side arrays for n sinks and zeroes the accumulators.
+func (sc *bucketScratch) grow(n int) {
+	if cap(sc.sx) < n {
+		sc.sx = make([]float64, n)
+		sc.sy = make([]float64, n)
+		sc.sz = make([]float64, n)
+		sc.ax = make([]float64, n)
+		sc.ay = make([]float64, n)
+		sc.az = make([]float64, n)
+		sc.pp = make([]float64, n)
+	}
+	sc.sx, sc.sy, sc.sz = sc.sx[:n], sc.sy[:n], sc.sz[:n]
+	sc.ax, sc.ay, sc.az, sc.pp = sc.ax[:n], sc.ay[:n], sc.az[:n], sc.pp[:n]
+	for i := 0; i < n; i++ {
+		sc.ax[i], sc.ay[i], sc.az[i], sc.pp[i] = 0, 0, 0, 0
+	}
+}
+
+// bucketWalker is one leaf bucket's suspended traversal state.
+type bucketWalker struct {
+	*bucketScratch
+	cell    *htree.Cell
+	center  vec.V3
+	radius  float64
+	blocked int
+	queued  bool
+	done    bool
+}
+
+// evalPool runs bucket evaluations on a fixed set of host goroutines. The
+// job channel is bounded, so a traversal that outruns the workers blocks on
+// submit instead of queueing unbounded interaction lists.
+type evalPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newEvalPool(workers int) *evalPool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &evalPool{jobs: make(chan func(), 4*workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *evalPool) submit(f func()) {
+	p.wg.Add(1)
+	p.jobs <- f
+}
+
+// wait blocks until every submitted job has finished.
+func (p *evalPool) wait() { p.wg.Wait() }
+
+// close releases the worker goroutines.
+func (p *evalPool) close() { close(p.jobs) }
+
+// computeForcesGrouped is the bucket-grouped engine.
+func (dt *DTree) computeForcesGrouped(bodies []Body) ([]vec.V3, []float64, TraversalStats) {
+	acc := make([]vec.V3, len(bodies))
+	pot := make([]float64, len(bodies))
+	var st TraversalStats
+	st.PerBody = make([]float64, len(bodies))
+	if dt.local == nil || len(bodies) == 0 {
+		// No local work: serve everyone else's fetches until quiescence.
+		dt.abm.Quiesce()
+		return acc, pot, st
+	}
+
+	leaves := dt.local.Leaves()
+	st.Buckets = int64(len(leaves))
+	walkers := make([]bucketWalker, len(leaves))
+	runnable := make([]*bucketWalker, 0, len(leaves))
+	for i, c := range leaves {
+		w := &walkers[i]
+		w.bucketScratch = scratchPool.Get().(*bucketScratch)
+		w.cell = c
+		w.center, w.radius = c.BoundingSphere()
+		w.stack = append(w.stack[:0], key.Root)
+		w.cells = w.cells[:0]
+		w.srcs.Reset()
+		w.queued = true
+		runnable = append(runnable, w)
+	}
+	remaining := len(walkers)
+
+	charge := dt.chargeFunc(&st)
+	pool := newEvalPool(dt.opt.Workers)
+	defer pool.close()
+	// Multi-rank lists mix locally walked and fetched data, so their order
+	// depends on reply timing; sorting restores a canonical order (see the
+	// determinism rule above). Single-rank lists are already deterministic.
+	canonicalize := dt.r.Size() > 1
+
+	fetch := func(w *bucketWalker, k key.K, owner int) {
+		w.blocked++
+		dt.requestCell(k, owner, &st, func(reply fetchReply) {
+			w.blocked--
+			if reply.Bodies != nil {
+				w.srcs.PushSources(reply.Bodies)
+			} else {
+				for _, c := range reply.Children {
+					w.stack = append(w.stack, c.Key)
+				}
+			}
+			if !w.done && !w.queued {
+				w.queued = true
+				runnable = append(runnable, w)
+			}
+		})
+	}
+
+	for remaining > 0 {
+		if len(runnable) == 0 {
+			dt.abm.FlushAll()
+			dt.abm.Poll()
+			continue
+		}
+		w := runnable[len(runnable)-1]
+		runnable = runnable[:len(runnable)-1]
+		w.queued = false
+		if w.done {
+			continue
+		}
+		dt.runBucket(w, fetch)
+		if len(w.stack) == 0 && w.blocked == 0 {
+			w.done = true
+			remaining--
+			dt.finishBucket(w, &st, charge, pool, canonicalize, acc, pot)
+		}
+		dt.abm.Poll()
+	}
+	pool.wait()
+	charge()
+	dt.abm.Quiesce()
+	return acc, pot, st
+}
+
+// runBucket drains the bucket walker's stack as far as possible without
+// waiting, accumulating accepted cells and direct bodies on its list.
+func (dt *DTree) runBucket(w *bucketWalker, fetch func(*bucketWalker, key.K, int)) {
+	theta := dt.opt.Theta
+	for len(w.stack) > 0 {
+		k := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		info, ok := dt.remote[k]
+		if !ok {
+			panic("core: traversal reached unknown cell " + k.String())
+		}
+		if info.Owner == dt.r.ID() {
+			dt.walkLocalBucket(w, k)
+			continue
+		}
+		d := info.Mp.COM.Dist(w.center) - w.radius
+		if htree.AcceptMAC(d, info.Bmax, theta) {
+			w.cells = append(w.cells, info.Mp)
+			continue
+		}
+		if info.Owner == -1 {
+			// Fill cell: children are replicated, push them directly.
+			for oct := 0; oct < 8; oct++ {
+				if info.ChildMask&(1<<uint(oct)) != 0 {
+					w.stack = append(w.stack, k.Child(oct))
+				}
+			}
+			continue
+		}
+		if info.Leaf {
+			if src, ok := dt.bodiesCacheGet(k); ok {
+				w.srcs.PushSources(src)
+				continue
+			}
+			fetch(w, k, info.Owner)
+			continue
+		}
+		if dt.childrenCached(k, info) {
+			for oct := 0; oct < 8; oct++ {
+				if info.ChildMask&(1<<uint(oct)) != 0 {
+					w.stack = append(w.stack, k.Child(oct))
+				}
+			}
+			continue
+		}
+		fetch(w, k, info.Owner)
+	}
+}
+
+// walkLocalBucket walks a fully local subtree for the bucket, using the
+// walker's own local stack (buckets suspend independently, so the scratch
+// cannot be shared across walkers like the per-body engine's).
+func (dt *DTree) walkLocalBucket(w *bucketWalker, root key.K) {
+	theta := dt.opt.Theta
+	stack := append(w.lstack[:0], root)
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c, ok := dt.local.Cell(k)
+		if !ok {
+			panic("core: local walk missed cell")
+		}
+		d := c.Mp.COM.Dist(w.center) - w.radius
+		if !c.Leaf && htree.AcceptMAC(d, c.Bmax, theta) {
+			w.cells = append(w.cells, c.Mp)
+			continue
+		}
+		if c.Leaf {
+			for i := c.Lo; i < c.Hi; i++ {
+				w.srcs.Push(dt.local.Bodies[i].Pos, dt.local.Bodies[i].Mass)
+			}
+			continue
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				stack = append(stack, k.Child(oct))
+			}
+		}
+	}
+	w.lstack = stack[:0]
+}
+
+// finishBucket accounts the bucket's work deterministically (counts derive
+// from list lengths alone) and hands the numeric evaluation to the pool.
+func (dt *DTree) finishBucket(w *bucketWalker, st *TraversalStats, charge func(), pool *evalPool, canonicalize bool, acc []vec.V3, pot []float64) {
+	ns := w.cell.Hi - w.cell.Lo
+	nc := len(w.cells)
+	nb := w.srcs.Len()
+	st.CellInteractions += int64(ns * nc)
+	// Every sink meets every listed body except itself (the bucket's own
+	// bodies are always on the list, since its own leaf can never pass the
+	// bucket MAC).
+	st.BodyInteractions += int64(ns*nb - ns)
+	work := float64(nc + nb - 1)
+	for i := w.cell.Lo; i < w.cell.Hi; i++ {
+		st.PerBody[dt.local.Bodies[i].ID] = work
+	}
+	charge()
+	pool.submit(func() {
+		dt.evalBucket(w, canonicalize, acc, pot)
+		sc := w.bucketScratch
+		w.bucketScratch = nil
+		scratchPool.Put(sc)
+	})
+}
+
+// evalBucket applies the finished interaction list to every sink in the
+// bucket. It runs on a pool worker: it touches only the walker's own
+// scratch, the read-only body array, and the bucket's disjoint slice of the
+// output arrays.
+func (dt *DTree) evalBucket(w *bucketWalker, canonicalize bool, acc []vec.V3, pot []float64) {
+	if canonicalize {
+		sortMultipoles(w.cells)
+		w.srcs.Sort()
+	}
+	lo, hi := w.cell.Lo, w.cell.Hi
+	ns := hi - lo
+	sc := w.bucketScratch
+	sc.grow(ns)
+	for j := 0; j < ns; j++ {
+		p := dt.local.Bodies[lo+j].Pos
+		sc.sx[j], sc.sy[j], sc.sz[j] = p[0], p[1], p[2]
+	}
+	gravity.EvalList(sc.cells, &sc.srcs, sc.sx, sc.sy, sc.sz, dt.opt.Eps, dt.opt.UseKarp, sc.ax, sc.ay, sc.az, sc.pp)
+	for j := 0; j < ns; j++ {
+		id := dt.local.Bodies[lo+j].ID
+		acc[id] = vec.V3{sc.ax[j], sc.ay[j], sc.az[j]}
+		pot[id] = sc.pp[j]
+	}
+}
+
+// sortMultipoles orders accepted cells by (COM, M): distinct cells have
+// distinct centers of mass, and identical entries are interchangeable under
+// summation, so this is a canonical evaluation order.
+func sortMultipoles(ms []gravity.Multipole) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := &ms[i], &ms[j]
+		if a.COM[0] != b.COM[0] {
+			return a.COM[0] < b.COM[0]
+		}
+		if a.COM[1] != b.COM[1] {
+			return a.COM[1] < b.COM[1]
+		}
+		if a.COM[2] != b.COM[2] {
+			return a.COM[2] < b.COM[2]
+		}
+		return a.M < b.M
+	})
+}

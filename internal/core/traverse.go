@@ -14,17 +14,25 @@ import (
 // a software queue to keep track of which computations have been put aside
 // waiting for messages to arrive."
 //
-// Each local body is a walker with its own stack of pending cell keys. When
-// a walker needs a non-local cell that is not yet cached, the expansion
-// request is batched through the ABM layer, the walker's blocked count is
-// incremented, and the engine moves on to other walkers. Responses re-enable
-// walkers through their continuations.
+// Two engines share the fetch machinery below. The default is the
+// bucket-grouped engine (grouped.go): one walker per leaf bucket builds an
+// interaction list evaluated for all of the bucket's bodies by the batched
+// SoA kernels, optionally on a pool of host workers. The original
+// one-walker-per-body engine is kept behind Options.PerBody for A/B
+// validation: each local body owns a stack of pending cell keys, and when a
+// walker needs a non-local cell that is not yet cached, the expansion
+// request is batched through the ABM layer and the engine moves on to other
+// walkers. Responses re-enable walkers through their continuations.
 
 // cellFlops is the accounted flop cost of one cell-body (quadrupole)
 // interaction; body-body interactions cost gravity.KernelFlops.
 const cellFlops = 70
 
-// walker is one body's suspended traversal state.
+// perBodyStackCap is the arena-slab capacity reserved per walker stack in
+// the per-body engine; deeper excursions fall back to append growth.
+const perBodyStackCap = 32
+
+// walker is one body's suspended traversal state (per-body engine).
 type walker struct {
 	idx     int // local body index
 	p       vec.V3
@@ -32,6 +40,7 @@ type walker struct {
 	pot     float64
 	stack   []key.K
 	blocked int
+	queued  bool
 	done    bool
 	work    int64 // interactions charged to this body
 }
@@ -42,6 +51,8 @@ type TraversalStats struct {
 	CellInteractions int64
 	Fetches          int64
 	Flops            float64
+	// Buckets is the number of leaf buckets walked (grouped engine only).
+	Buckets int64
 	// PerBody is the interaction count of each local body, the work weight
 	// fed back into the next domain decomposition.
 	PerBody []float64
@@ -50,26 +61,22 @@ type TraversalStats struct {
 // ComputeForces evaluates the gravitational field at every local body using
 // the distributed tree, returning accelerations, potentials and work stats.
 // All ranks must call it collectively (it quiesces the ABM traffic).
+// Transient caches from any previous evaluation on this tree are dropped
+// first, so repeated evaluations do not accumulate unbounded state.
 func (dt *DTree) ComputeForces(bodies []Body) ([]vec.V3, []float64, TraversalStats) {
-	eps2 := dt.opt.Eps * dt.opt.Eps
-	acc := make([]vec.V3, len(bodies))
-	pot := make([]float64, len(bodies))
-	var st TraversalStats
-	st.PerBody = make([]float64, len(bodies))
-
-	walkers := make([]*walker, len(bodies))
-	runnable := make([]*walker, 0, len(bodies))
-	for i := range bodies {
-		w := &walker{idx: i, p: bodies[i].Pos, stack: []key.K{key.Root}}
-		walkers[i] = w
-		runnable = append(runnable, w)
+	dt.resetCaches()
+	if dt.opt.PerBody {
+		return dt.computeForcesPerBody(bodies)
 	}
-	remaining := len(walkers)
+	return dt.computeForcesGrouped(bodies)
+}
 
-	// chargeBatch converts interaction counts accumulated since the last
-	// charge into virtual compute time.
+// chargeFunc converts interaction counts accumulated since the last call
+// into virtual compute time; engines call it at deterministic points so
+// virtual-time accounting does not depend on evaluation concurrency.
+func (dt *DTree) chargeFunc(st *TraversalStats) func() {
 	var lastBody, lastCell int64
-	charge := func() {
+	return func() {
 		db := st.BodyInteractions - lastBody
 		dc := st.CellInteractions - lastCell
 		if db == 0 && dc == 0 {
@@ -80,6 +87,33 @@ func (dt *DTree) ComputeForces(bodies []Body) ([]vec.V3, []float64, TraversalSta
 		dt.r.Charge(flops, dt.opt.KernelEff, float64(db+dc)*32)
 		lastBody, lastCell = st.BodyInteractions, st.CellInteractions
 	}
+}
+
+// computeForcesPerBody is the seed engine: one walker per local body.
+func (dt *DTree) computeForcesPerBody(bodies []Body) ([]vec.V3, []float64, TraversalStats) {
+	eps2 := dt.opt.Eps * dt.opt.Eps
+	acc := make([]vec.V3, len(bodies))
+	pot := make([]float64, len(bodies))
+	var st TraversalStats
+	st.PerBody = make([]float64, len(bodies))
+
+	// Walkers live in one slab and their stacks start in one arena, so the
+	// setup costs two allocations instead of O(n).
+	walkers := make([]walker, len(bodies))
+	arena := make([]key.K, len(bodies)*perBodyStackCap)
+	runnable := make([]*walker, 0, len(bodies))
+	for i := range bodies {
+		w := &walkers[i]
+		w.idx = i
+		w.p = bodies[i].Pos
+		w.stack = arena[i*perBodyStackCap : i*perBodyStackCap : (i+1)*perBodyStackCap]
+		w.stack = append(w.stack, key.Root)
+		w.queued = true
+		runnable = append(runnable, w)
+	}
+	remaining := len(walkers)
+
+	charge := dt.chargeFunc(&st)
 
 	finish := func(w *walker) {
 		if !w.done && len(w.stack) == 0 && w.blocked == 0 {
@@ -91,8 +125,11 @@ func (dt *DTree) ComputeForces(bodies []Body) ([]vec.V3, []float64, TraversalSta
 		}
 	}
 
-	// resume is called by fetch continuations to hand data to walkers.
-	resume := func(w *walker, reply fetchReply, k key.K) {
+	// resume is called by fetch continuations to hand data to walkers. A
+	// walker is re-queued only when it is not already on the runnable queue:
+	// with several fetches outstanding, every reply used to append it again,
+	// producing duplicate queue entries and redundant runWalker calls.
+	resume := func(w *walker, reply fetchReply) {
 		w.blocked--
 		if reply.Bodies != nil {
 			dt.interactBodies(w, reply.Bodies, eps2, &st)
@@ -101,53 +138,27 @@ func (dt *DTree) ComputeForces(bodies []Body) ([]vec.V3, []float64, TraversalSta
 				w.stack = append(w.stack, c.Key)
 			}
 		}
-		if !w.done && w.blocked >= 0 {
+		if !w.done && !w.queued {
+			w.queued = true
 			runnable = append(runnable, w)
 		}
 	}
 
 	fetch := func(w *walker, k key.K, owner int) {
 		w.blocked++
-		waiters, inFlight := dt.fetching[k]
-		dt.fetching[k] = append(waiters, w)
-		if inFlight {
-			return
-		}
-		st.Fetches++
-		dt.fetches++
-		dt.abm.Request(owner, hFetch, k, 8, func(resp any) {
-			reply := resp.(fetchReply)
-			// Cache so future walkers don't re-fetch.
-			if reply.Bodies != nil {
-				info := dt.remote[k]
-				info.Leaf = true
-				dt.remote[k] = info
-				dt.bodiesCacheSet(k, reply.Bodies)
-			} else {
-				for _, c := range reply.Children {
-					dt.remote[c.Key] = c
-				}
-			}
-			ws := dt.fetching[k]
-			delete(dt.fetching, k)
-			for _, waiting := range ws {
-				resume(waiting, reply, k)
-			}
-		})
+		dt.requestCell(k, owner, &st, func(reply fetchReply) { resume(w, reply) })
 	}
 
 	for remaining > 0 {
 		if len(runnable) == 0 {
+			// Everyone is blocked on remote data: push batches out and poll.
 			dt.abm.FlushAll()
 			dt.abm.Poll()
-			// finish any walkers whose last fetch just resolved
-			for _, w := range walkers {
-				finish(w)
-			}
 			continue
 		}
 		w := runnable[len(runnable)-1]
 		runnable = runnable[:len(runnable)-1]
+		w.queued = false
 		if w.done {
 			continue
 		}
@@ -203,16 +214,7 @@ func (dt *DTree) runWalker(w *walker, eps2 float64, st *TraversalStats, fetch fu
 			continue
 		}
 		// Internal: use cached children when all are present.
-		all := true
-		for oct := 0; oct < 8; oct++ {
-			if info.ChildMask&(1<<uint(oct)) != 0 {
-				if _, ok := dt.remote[k.Child(oct)]; !ok {
-					all = false
-					break
-				}
-			}
-		}
-		if all && info.ChildMask != 0 {
+		if dt.childrenCached(k, info) {
 			for oct := 0; oct < 8; oct++ {
 				if info.ChildMask&(1<<uint(oct)) != 0 {
 					w.stack = append(w.stack, k.Child(oct))
@@ -224,11 +226,29 @@ func (dt *DTree) runWalker(w *walker, eps2 float64, st *TraversalStats, fetch fu
 	}
 }
 
-// walkLocal traverses a fully local subtree without hash misses.
+// childrenCached reports whether every child of an internal remote cell is
+// already present in the replicated-cell table.
+func (dt *DTree) childrenCached(k key.K, info cellInfo) bool {
+	if info.ChildMask == 0 {
+		return false
+	}
+	for oct := 0; oct < 8; oct++ {
+		if info.ChildMask&(1<<uint(oct)) != 0 {
+			if _, ok := dt.remote[k.Child(oct)]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// walkLocal traverses a fully local subtree without hash misses. The stack
+// is a DTree-level scratch buffer: the per-body engine is single-threaded,
+// so one buffer serves every call without reallocating.
 func (dt *DTree) walkLocal(w *walker, root key.K, eps2 float64, st *TraversalStats) {
 	theta := dt.opt.Theta
 	useKarp := dt.opt.UseKarp
-	stack := []key.K{root}
+	stack := append(dt.lstack[:0], root)
 	for len(stack) > 0 {
 		k := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -274,6 +294,7 @@ func (dt *DTree) walkLocal(w *walker, root key.K, eps2 float64, st *TraversalSta
 			}
 		}
 	}
+	dt.lstack = stack[:0]
 }
 
 // interactBodies applies direct interactions from fetched remote bodies.
@@ -289,17 +310,4 @@ func (dt *DTree) interactBodies(w *walker, src []gravity.Source, eps2 float64, s
 	w.pot += p
 	st.BodyInteractions += int64(len(src))
 	w.work += int64(len(src))
-}
-
-// bodiesCache holds fetched remote leaf bodies keyed by cell.
-func (dt *DTree) bodiesCacheSet(k key.K, src []gravity.Source) {
-	if dt.bodyCache == nil {
-		dt.bodyCache = map[key.K][]gravity.Source{}
-	}
-	dt.bodyCache[k] = src
-}
-
-func (dt *DTree) bodiesCacheGet(k key.K) ([]gravity.Source, bool) {
-	src, ok := dt.bodyCache[k]
-	return src, ok
 }

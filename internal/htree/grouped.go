@@ -1,0 +1,176 @@
+package htree
+
+// Bucket-grouped traversal (the 2HOT grouped walk): instead of one tree
+// walk per body, one walk per leaf bucket builds a single interaction list
+// that is then applied to every body in the bucket through the batched SoA
+// kernels. The multipole acceptance test is made at the bucket level: the
+// distance is measured from the bucket's bounding sphere (center = leaf
+// center of mass, radius = leaf Bmax), so a cell accepted for the bucket
+// satisfies the per-body MAC for every sink inside it — by the triangle
+// inequality dist(sink, COM) >= dist(center, COM) - radius — and the
+// per-body worst-case error bound is preserved.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/key"
+	"spacesim/internal/vec"
+)
+
+// Leaves returns the leaf buckets in body order: depth-first by octant,
+// which is Morton-key order, so leaf i covers Bodies[leafI.Lo:leafI.Hi]
+// with ascending, adjacent ranges.
+func (t *Tree) Leaves() []*Cell {
+	out := make([]*Cell, 0, len(t.cells)/2+1)
+	var walk func(k key.K)
+	walk = func(k key.K) {
+		c, ok := t.cells[k]
+		if !ok {
+			return
+		}
+		if c.Leaf {
+			out = append(out, c)
+			return
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				walk(k.Child(oct))
+			}
+		}
+	}
+	walk(key.Root)
+	return out
+}
+
+// BoundingSphere returns the cell's bounding sphere over its bodies:
+// centered on the center of mass with radius Bmax.
+func (c *Cell) BoundingSphere() (center vec.V3, radius float64) {
+	return c.Mp.COM, c.Bmax
+}
+
+// groupScratch is the per-worker reusable buffer set of the grouped walk.
+type groupScratch struct {
+	stack          []key.K
+	cells          []gravity.Multipole
+	srcs           gravity.SoA
+	sx, sy, sz     []float64
+	ax, ay, az, pp []float64
+}
+
+// grow resizes the sink-side arrays to n sinks, zeroing the accumulators.
+func (sc *groupScratch) grow(n int) {
+	if cap(sc.sx) < n {
+		sc.sx = make([]float64, n)
+		sc.sy = make([]float64, n)
+		sc.sz = make([]float64, n)
+		sc.ax = make([]float64, n)
+		sc.ay = make([]float64, n)
+		sc.az = make([]float64, n)
+		sc.pp = make([]float64, n)
+	}
+	sc.sx, sc.sy, sc.sz = sc.sx[:n], sc.sy[:n], sc.sz[:n]
+	sc.ax, sc.ay, sc.az, sc.pp = sc.ax[:n], sc.ay[:n], sc.az[:n], sc.pp[:n]
+	for i := 0; i < n; i++ {
+		sc.ax[i], sc.ay[i], sc.az[i], sc.pp[i] = 0, 0, 0, 0
+	}
+}
+
+// gatherList walks the tree once for the bucket, accumulating accepted
+// cells and direct-interaction bodies into the scratch buffers.
+func (t *Tree) gatherList(bucket *Cell, theta float64, sc *groupScratch, st *WalkStats) {
+	center, radius := bucket.Mp.COM, bucket.Bmax
+	sc.stack = append(sc.stack[:0], key.Root)
+	sc.cells = sc.cells[:0]
+	sc.srcs.Reset()
+	for len(sc.stack) > 0 {
+		k := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		c := t.cells[k]
+		d := c.Mp.COM.Dist(center) - radius
+		if !c.Leaf && AcceptMAC(d, c.Bmax, theta) {
+			sc.cells = append(sc.cells, c.Mp)
+			continue
+		}
+		if c.Leaf {
+			for i := c.Lo; i < c.Hi; i++ {
+				sc.srcs.Push(t.Bodies[i].Pos, t.Bodies[i].Mass)
+			}
+			continue
+		}
+		st.CellsOpened++
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				sc.stack = append(sc.stack, k.Child(oct))
+			}
+		}
+	}
+}
+
+// evalBucket applies the gathered list to every body of the bucket,
+// scattering results by original body ID.
+func (t *Tree) evalBucket(bucket *Cell, eps float64, useKarp bool, sc *groupScratch, acc []vec.V3, pot []float64) {
+	ns := bucket.Hi - bucket.Lo
+	sc.grow(ns)
+	for j := 0; j < ns; j++ {
+		p := t.Bodies[bucket.Lo+j].Pos
+		sc.sx[j], sc.sy[j], sc.sz[j] = p[0], p[1], p[2]
+	}
+	gravity.EvalList(sc.cells, &sc.srcs, sc.sx, sc.sy, sc.sz, eps, useKarp, sc.ax, sc.ay, sc.az, sc.pp)
+	for j := 0; j < ns; j++ {
+		id := t.Bodies[bucket.Lo+j].ID
+		acc[id] = vec.V3{sc.ax[j], sc.ay[j], sc.az[j]}
+		pot[id] = sc.pp[j]
+	}
+}
+
+// AccelAllGrouped evaluates the field at every body with the bucket-grouped
+// walk, fanning leaf buckets out over the given number of host workers
+// (workers < 1 means runtime.GOMAXPROCS(0)). Each bucket writes a disjoint
+// slice of the output and its stats are merged in bucket order, so the
+// result — including every floating-point bit — is identical for any
+// worker count.
+func (t *Tree) AccelAllGrouped(theta, eps float64, useKarp bool, workers int) ([]vec.V3, []float64, WalkStats) {
+	n := len(t.Bodies)
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+	leaves := t.Leaves()
+	stats := make([]WalkStats, len(leaves))
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(leaves) {
+		workers = len(leaves)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var sc groupScratch
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(leaves) {
+					return
+				}
+				b := leaves[i]
+				t.gatherList(b, theta, &sc, &stats[i])
+				ns := b.Hi - b.Lo
+				stats[i].CellInteractions += ns * len(sc.cells)
+				stats[i].BodyInteractions += ns*sc.srcs.Len() - ns
+				t.evalBucket(b, eps, useKarp, &sc, acc, pot)
+			}
+		}()
+	}
+	wg.Wait()
+	var total WalkStats
+	for i := range stats {
+		total.CellInteractions += stats[i].CellInteractions
+		total.BodyInteractions += stats[i].BodyInteractions
+		total.CellsOpened += stats[i].CellsOpened
+	}
+	return acc, pot, total
+}

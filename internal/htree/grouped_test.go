@@ -1,0 +1,143 @@
+package htree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/vec"
+)
+
+func randomBodies(rng *rand.Rand, n int) ([]vec.V3, []float64) {
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		mass[i] = rng.Float64() + 0.1
+	}
+	return pos, mass
+}
+
+// Leaves must tile the body array with ascending, adjacent ranges.
+func TestLeavesPartitionBodies(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	pos, mass := randomBodies(rng, 777)
+	tr, err := Build(pos, mass, Options{MaxLeaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.Leaves()
+	next := 0
+	for i, c := range leaves {
+		if !c.Leaf {
+			t.Fatalf("leaf %d is not a leaf", i)
+		}
+		if c.Lo != next {
+			t.Fatalf("leaf %d starts at %d, want %d (not contiguous)", i, c.Lo, next)
+		}
+		if c.Hi <= c.Lo {
+			t.Fatalf("leaf %d has empty range [%d,%d)", i, c.Lo, c.Hi)
+		}
+		next = c.Hi
+	}
+	if next != len(tr.Bodies) {
+		t.Fatalf("leaves cover %d of %d bodies", next, len(tr.Bodies))
+	}
+}
+
+// The bucket MAC widens the opening radius by the bucket's Bmax, so the
+// grouped walk is at least as conservative as the per-body walk: its force
+// error versus direct summation must stay within the per-body error regime.
+func TestGroupedMatchesPerBodyWithinMACBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 1500
+	pos, mass := randomBodies(rng, n)
+	tr, err := Build(pos, mass, Options{MaxLeaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.02
+	ref, _ := gravity.Direct(pos, mass, eps)
+	for _, theta := range []float64{0.4, 0.7, 1.0} {
+		accP, potP, stP := tr.AccelAll(theta, eps, false)
+		accG, potG, stG := tr.AccelAllGrouped(theta, eps, false, 0)
+		rmsP := rmsErr(accP, ref)
+		rmsG := rmsErr(accG, ref)
+		if rmsG > rmsP*1.05+1e-12 {
+			t.Fatalf("theta=%v: grouped rms error %g exceeds per-body %g", theta, rmsG, rmsP)
+		}
+		// Grouped and per-body agree with each other at the MAC error level.
+		if d := rmsErr(accG, accP); d > 2*rmsP+1e-12 {
+			t.Fatalf("theta=%v: grouped vs per-body rms %g (per-body vs direct %g)", theta, d, rmsP)
+		}
+		for i := range potP {
+			if relDiff(potG[i], potP[i]) > 10*theta*theta*theta {
+				t.Fatalf("theta=%v: potential %d: %v vs %v", theta, i, potG[i], potP[i])
+			}
+		}
+		if stG.BodyInteractions <= 0 || stG.CellInteractions <= 0 {
+			t.Fatalf("theta=%v: missing grouped stats %+v", theta, stG)
+		}
+		// The grouped MAC opens no fewer cells per unique walk, but walks
+		// once per bucket, so total opened cells must drop sharply.
+		if stG.CellsOpened >= stP.CellsOpened/2 {
+			t.Fatalf("theta=%v: grouped opened %d cells, per-body %d — grouping not amortizing", theta, stG.CellsOpened, stP.CellsOpened)
+		}
+	}
+}
+
+// With theta -> 0 no cell is ever accepted, both engines visit leaves in the
+// same depth-first order, and the grouped result must be bit-identical to
+// the per-body result.
+func TestGroupedExactAtThetaZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pos, mass := randomBodies(rng, 400)
+	tr, err := Build(pos, mass, Options{MaxLeaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.05
+	accP, potP, _ := tr.AccelAll(1e-9, eps, false)
+	accG, potG, _ := tr.AccelAllGrouped(1e-9, eps, false, 1)
+	for i := range accP {
+		if accG[i] != accP[i] || potG[i] != potP[i] {
+			t.Fatalf("body %d: grouped (%v, %v) vs per-body (%v, %v)", i, accG[i], potG[i], accP[i], potP[i])
+		}
+	}
+}
+
+// Results must be bit-identical for every worker count.
+func TestGroupedWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pos, mass := randomBodies(rng, 1000)
+	tr, err := Build(pos, mass, Options{MaxLeaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc1, pot1, st1 := tr.AccelAllGrouped(0.7, 0.02, true, 1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		accN, potN, stN := tr.AccelAllGrouped(0.7, 0.02, true, workers)
+		for i := range acc1 {
+			if accN[i] != acc1[i] || potN[i] != pot1[i] {
+				t.Fatalf("workers=%d: body %d differs: (%v, %v) vs (%v, %v)", workers, i, accN[i], potN[i], acc1[i], pot1[i])
+			}
+		}
+		if stN != st1 {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, stN, st1)
+		}
+	}
+}
+
+func rmsErr(got, ref []vec.V3) float64 {
+	var sum2, ref2 float64
+	for i := range ref {
+		sum2 += got[i].Sub(ref[i]).Norm2()
+		ref2 += ref[i].Norm2()
+	}
+	return math.Sqrt(sum2 / ref2)
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Max(math.Abs(a), math.Abs(b)))
+}

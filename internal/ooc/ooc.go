@@ -184,12 +184,20 @@ func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
 		bmax[b] = blockBmax(blk, mps[b].COM)
 	}
 	acc := make([]vec.V3, 0, s.N)
+	// Grouped evaluation per sink block: one interaction list (accepted
+	// block multipoles + streamed near-block bodies in SoA layout) is built
+	// and applied to every sink in the block by the batched kernel, which
+	// skips the zero-separation self terms of the in-block interactions.
+	var cells []gravity.Multipole
+	var srcs gravity.SoA
+	var sx, sy, sz, ax, ay, az, pp []float64
 	for sink := 0; sink < s.NumBlocks; sink++ {
 		sb, err := s.LoadBlock(sink)
 		if err != nil {
 			return nil, err
 		}
-		local := make([]vec.V3, len(sb.Pos))
+		cells = cells[:0]
+		srcs.Reset()
 		for src := 0; src < s.NumBlocks; src++ {
 			if src == sink {
 				continue
@@ -197,49 +205,40 @@ func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
 			// block-level MAC against the sink block's extent
 			d := mps[src].COM.Dist(mps[sink].COM)
 			if htree.AcceptMAC(d, bmax[src]+bmax[sink], theta) {
-				for i, p := range sb.Pos {
-					a, _ := mps[src].AccelAt(p, eps)
-					local[i] = local[i].Add(a)
-				}
+				cells = append(cells, mps[src])
 				continue
 			}
-			// near block: stream it and sum directly
+			// near block: stream it onto the direct-interaction list
 			nb, err := s.LoadBlock(src)
 			if err != nil {
 				return nil, err
 			}
-			srcs := make([]gravity.Source, len(nb.Pos))
 			for j := range nb.Pos {
-				srcs[j] = gravity.Source{Pos: nb.Pos[j], Mass: nb.Mass[j]}
-			}
-			for i, p := range sb.Pos {
-				a, _ := gravity.KernelLibm(p, srcs, eps*eps)
-				local[i] = local[i].Add(a)
+				srcs.Push(nb.Pos[j], nb.Mass[j])
 			}
 		}
-		// in-block direct interactions
-		srcs := make([]gravity.Source, len(sb.Pos))
+		// in-block direct interactions (self pairs excluded by the kernel)
 		for j := range sb.Pos {
-			srcs[j] = gravity.Source{Pos: sb.Pos[j], Mass: sb.Mass[j]}
+			srcs.Push(sb.Pos[j], sb.Mass[j])
 		}
-		for i, p := range sb.Pos {
-			a, _ := kernelSkipSelf(p, srcs, eps)
-			local[i] = local[i].Add(a)
+		ns := len(sb.Pos)
+		sx, sy, sz = sx[:0], sy[:0], sz[:0]
+		ax, ay, az, pp = ax[:0], ay[:0], az[:0], pp[:0]
+		for _, p := range sb.Pos {
+			sx = append(sx, p[0])
+			sy = append(sy, p[1])
+			sz = append(sz, p[2])
+			ax = append(ax, 0)
+			ay = append(ay, 0)
+			az = append(az, 0)
+			pp = append(pp, 0)
 		}
-		acc = append(acc, local...)
+		gravity.EvalList(cells, &srcs, sx, sy, sz, eps, false, ax, ay, az, pp)
+		for i := 0; i < ns; i++ {
+			acc = append(acc, vec.V3{ax[i], ay[i], az[i]})
+		}
 	}
 	return acc, nil
-}
-
-// kernelSkipSelf is the direct kernel excluding the r=0 self term.
-func kernelSkipSelf(p vec.V3, srcs []gravity.Source, eps float64) (vec.V3, float64) {
-	var kept []gravity.Source
-	for _, sc := range srcs {
-		if sc.Pos != p {
-			kept = append(kept, sc)
-		}
-	}
-	return gravity.KernelLibm(p, kept, eps*eps)
 }
 
 // TotalMass streams the store and returns the summed mass (an integrity

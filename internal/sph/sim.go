@@ -254,7 +254,7 @@ func (s *Sim) computeForces() {
 	if err != nil {
 		panic("sph: gravity tree: " + err.Error())
 	}
-	gacc, _, _ := tr.AccelAll(cfg.GravTheta, cfg.GravEps, false)
+	gacc, _, _ := tr.AccelAllGrouped(cfg.GravTheta, cfg.GravEps, false, 0)
 	for i := 0; i < n; i++ {
 		s.acc[i] = s.acc[i].Add(gacc[i])
 	}
@@ -336,7 +336,7 @@ func (s *Sim) Diag() Diagnostics {
 	if err != nil {
 		panic(err)
 	}
-	_, pot, _ := tr.AccelAll(0.3, s.Cfg.GravEps, false)
+	_, pot, _ := tr.AccelAllGrouped(0.3, s.Cfg.GravEps, false, 0)
 	dense := make([]rhoi, p.N())
 	for i := 0; i < p.N(); i++ {
 		m := p.Mass[i]
