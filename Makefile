@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench all
+.PHONY: build test race vet fmt-check bench smoke ci all
 
 all: build test vet fmt-check
 
@@ -27,3 +27,15 @@ fmt-check:
 # writes the comparison to BENCH_treecode.json.
 bench:
 	$(GO) run ./cmd/ssbench group -o BENCH_treecode.json
+
+# Generates a small trace + metrics pair from a short distributed run and
+# schema-validates both files with the tracecheck tool.
+smoke:
+	$(GO) run ./cmd/spacesim -n 600 -procs 3 -steps 2 \
+		-trace /tmp/spacesim-smoke-trace.json -metrics /tmp/spacesim-smoke-metrics.json
+	$(GO) run ./cmd/tracecheck \
+		-trace /tmp/spacesim-smoke-trace.json -metrics /tmp/spacesim-smoke-metrics.json
+
+# Full local CI pass: formatting, static checks, tests, race detector, and
+# the observability smoke run.
+ci: fmt-check vet test race smoke

@@ -6,6 +6,7 @@
 //
 //	spacesim [-n 4000] [-procs 16] [-steps 10] [-dt 0.005] [-theta 0.7]
 //	         [-ic plummer|coldsphere] [-karp] [-checkpoint dir]
+//	         [-trace trace.json] [-metrics metrics.json]
 package main
 
 import (
@@ -17,21 +18,24 @@ import (
 	"spacesim/internal/core"
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
+	"spacesim/internal/obs"
 	"spacesim/internal/pario"
 )
 
 func main() {
 	var (
-		n     = flag.Int("n", 4000, "number of bodies")
-		procs = flag.Int("procs", 16, "virtual processors (max 294)")
-		steps = flag.Int("steps", 10, "leapfrog steps")
-		dt    = flag.Float64("dt", 0.005, "timestep (N-body units)")
-		theta = flag.Float64("theta", 0.7, "multipole acceptance parameter")
-		eps   = flag.Float64("eps", 0.01, "Plummer softening")
-		ic    = flag.String("ic", "plummer", "initial condition: plummer|coldsphere")
-		karp  = flag.Bool("karp", false, "use the Karp reciprocal sqrt kernel")
-		seed  = flag.Int64("seed", 1, "RNG seed")
-		ckpt  = flag.String("checkpoint", "", "directory for a final striped checkpoint")
+		n       = flag.Int("n", 4000, "number of bodies")
+		procs   = flag.Int("procs", 16, "virtual processors (max 294)")
+		steps   = flag.Int("steps", 10, "leapfrog steps")
+		dt      = flag.Float64("dt", 0.005, "timestep (N-body units)")
+		theta   = flag.Float64("theta", 0.7, "multipole acceptance parameter")
+		eps     = flag.Float64("eps", 0.01, "Plummer softening")
+		ic      = flag.String("ic", "plummer", "initial condition: plummer|coldsphere")
+		karp    = flag.Bool("karp", false, "use the Karp reciprocal sqrt kernel")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		ckpt    = flag.String("checkpoint", "", "directory for a final striped checkpoint")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		metrics = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
 	)
 	flag.Parse()
 
@@ -46,7 +50,8 @@ func main() {
 		log.Fatalf("unknown initial condition %q", *ic)
 	}
 
-	cl := machine.SpaceSimulator(netsim.ProfileLAM)
+	o := obs.New(*trace != "")
+	cl := machine.SpaceSimulator(netsim.ProfileLAM).WithObs(o)
 	res := core.Run(core.RunConfig{
 		Cluster: cl, Procs: *procs, Steps: *steps,
 		Opt: core.Options{
@@ -76,6 +81,19 @@ func main() {
 			log.Fatalf("checkpoint: %v", err)
 		}
 		fmt.Printf("  checkpoint: %s (%d bodies)\n", path, len(res.Bodies))
+	}
+
+	if *metrics != "" {
+		if err := o.WriteMetricsFile(*metrics); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("  metrics: %s\n", *metrics)
+	}
+	if *trace != "" {
+		if err := o.WriteTraceFile(*trace); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("  trace: %s (chrome://tracing or https://ui.perfetto.dev)\n", *trace)
 	}
 }
 

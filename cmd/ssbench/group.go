@@ -12,6 +12,7 @@ import (
 
 	"spacesim/internal/core"
 	"spacesim/internal/htree"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
 
@@ -28,19 +29,43 @@ type groupResult struct {
 	InterPerSec  float64 `json:"interactions_per_sec"`
 }
 
+// groupDistributed summarizes the virtual-time distributed run that the
+// group benchmark performs to populate per-rank metrics.
+type groupDistributed struct {
+	Procs             int     `json:"procs"`
+	Workers           int     `json:"workers"`
+	Steps             int     `json:"steps"`
+	ElapsedVirtualSec float64 `json:"elapsed_virtual_sec"`
+	Gflops            float64 `json:"gflops"`
+	MaxImbalance      float64 `json:"max_imbalance"`
+	// WorkerUtilization is busy/(wall*workers) of the host-side eval pool,
+	// derived from the core.pool.* counters.
+	WorkerUtilization float64 `json:"worker_utilization"`
+}
+
 // groupReport is the BENCH_treecode.json payload.
+//
+// schema_version history:
+//
+//	1 — shared-memory engine comparison only (implicit; field absent)
+//	2 — adds schema_version, the distributed run summary, and the embedded
+//	    observability metrics snapshot (per-rank breakdown, interaction-list
+//	    sizes, cache hit rates, worker-pool utilization)
 type groupReport struct {
-	N               int           `json:"n"`
-	Theta           float64       `json:"theta"`
-	Eps             float64       `json:"eps"`
-	MaxLeaf         int           `json:"max_leaf"`
-	GOMAXPROCS      int           `json:"gomaxprocs"`
-	Results         []groupResult `json:"results"`
-	SpeedupW1       float64       `json:"speedup_grouped_w1_vs_per_body"`
-	SpeedupWN       float64       `json:"speedup_grouped_wn_vs_per_body"`
-	RmsDiffW1       float64       `json:"rms_acc_diff_grouped_vs_per_body"`
-	MaxPotDiffRel   float64       `json:"max_rel_pot_diff_grouped_vs_per_body"`
-	NsPerInterRatio float64       `json:"ns_per_interaction_per_body_over_grouped_w1"`
+	SchemaVersion   int                  `json:"schema_version"`
+	N               int                  `json:"n"`
+	Theta           float64              `json:"theta"`
+	Eps             float64              `json:"eps"`
+	MaxLeaf         int                  `json:"max_leaf"`
+	GOMAXPROCS      int                  `json:"gomaxprocs"`
+	Results         []groupResult        `json:"results"`
+	SpeedupW1       float64              `json:"speedup_grouped_w1_vs_per_body"`
+	SpeedupWN       float64              `json:"speedup_grouped_wn_vs_per_body"`
+	RmsDiffW1       float64              `json:"rms_acc_diff_grouped_vs_per_body"`
+	MaxPotDiffRel   float64              `json:"max_rel_pot_diff_grouped_vs_per_body"`
+	NsPerInterRatio float64              `json:"ns_per_interaction_per_body_over_grouped_w1"`
+	Distributed     *groupDistributed    `json:"distributed,omitempty"`
+	Metrics         *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // groupBench times the per-body treewalk against the bucket-grouped one on a
@@ -63,6 +88,7 @@ func groupBench() {
 		fmt.Fprintln(os.Stderr, "group: tree build:", err)
 		os.Exit(1)
 	}
+	tr.SetObs(runObs)
 
 	// best-of-3 wall time for each engine
 	const reps = 3
@@ -121,8 +147,32 @@ func groupBench() {
 			InterPerSec:  float64(inter) / sec,
 		}
 	}
+	// Distributed virtual-time run over the same particle set: this is what
+	// populates the per-rank compute/wait breakdown (and, with -trace, the
+	// per-rank trace rows) in the embedded metrics snapshot.
+	procs, steps, dw := 8, 2, 4
+	if *quick {
+		procs, steps = 4, 1
+	}
+	dres := core.Run(core.RunConfig{
+		Cluster: ssCluster(), Procs: procs, Steps: steps,
+		Opt: core.Options{Theta: theta, Eps: eps, DT: 1e-3, MaxLeaf: maxLeaf, Workers: dw},
+	}, ics)
+	snap := runObs.Snapshot()
+	util := 0.0
+	if wall, wk := snap.Counters["core.pool.wall_ns"], snap.Gauges["core.pool.workers"]; wall > 0 && wk > 0 {
+		util = float64(snap.Counters["core.pool.busy_ns"]) / (float64(wall) * wk)
+	}
+
 	rep := groupReport{
-		N: n, Theta: theta, Eps: eps, MaxLeaf: maxLeaf, GOMAXPROCS: nw,
+		SchemaVersion: 2,
+		N:             n, Theta: theta, Eps: eps, MaxLeaf: maxLeaf, GOMAXPROCS: nw,
+		Distributed: &groupDistributed{
+			Procs: procs, Workers: dw, Steps: dres.Steps,
+			ElapsedVirtualSec: dres.ElapsedVirtual, Gflops: dres.Gflops,
+			MaxImbalance: dres.MaxImbalance, WorkerUtilization: util,
+		},
+		Metrics: &snap,
 		Results: []groupResult{
 			mk("per-body", 1, tP, interP),
 			mk("grouped", 1, t1, inter1),
@@ -145,6 +195,8 @@ func groupBench() {
 	fmt.Printf("ns/interaction ratio (per-body / grouped w1): %.2fx\n", rep.NsPerInterRatio)
 	fmt.Printf("accuracy: rms acc diff %.2e, max rel pot diff %.2e; workers=%d bit-identical to workers=1\n",
 		rep.RmsDiffW1, rep.MaxPotDiffRel, nw)
+	fmt.Printf("distributed run: %d ranks x %d workers, %d steps, virtual %.2f s, %.1f Gflop/s, imbalance %.2f, pool util %.0f%%\n",
+		procs, dw, dres.Steps, dres.ElapsedVirtual, dres.Gflops, dres.MaxImbalance, 100*util)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

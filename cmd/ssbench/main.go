@@ -27,6 +27,7 @@ import (
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
 	"spacesim/internal/npb"
+	"spacesim/internal/obs"
 	"spacesim/internal/pario"
 	"spacesim/internal/perfmodel"
 	"spacesim/internal/reliability"
@@ -34,7 +35,15 @@ import (
 	"spacesim/internal/vec"
 )
 
-var quick = flag.Bool("quick", false, "shrink the simulated workloads for a fast pass")
+var (
+	quick      = flag.Bool("quick", false, "shrink the simulated workloads for a fast pass")
+	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (enables the tracer)")
+	metricsOut = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
+)
+
+// runObs observes every cluster run of the invocation (see ssCluster); the
+// tracer is attached only when -trace is set.
+var runObs *obs.Obs
 
 func main() {
 	flag.Parse()
@@ -43,6 +52,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Flags are accepted after the experiment name too:
+	// ssbench group --trace=t.json --metrics=m.json
+	if len(args) > 1 {
+		if err := flag.CommandLine.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	runObs = obs.New(*traceOut != "")
+	defer writeObs()
 	cmds := map[string]func(){
 		"table1":      table1,
 		"table2":      table2,
@@ -86,14 +104,34 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] <table1|table2|...|fig8|group|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] <table1|table2|...|fig8|group|switch|spec|reliability|moore|all>")
+}
+
+// writeObs flushes the run's trace and metrics files, if requested.
+func writeObs() {
+	if *metricsOut != "" {
+		if err := runObs.WriteMetricsFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := runObs.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace to %s\n", *traceOut)
+	}
 }
 
 func header(s string) {
 	fmt.Printf("\n=== %s %s\n", s, strings.Repeat("=", 60-len(s)))
 }
 
-func ssCluster() machine.Cluster { return machine.SpaceSimulator(netsim.ProfileLAM) }
+func ssCluster() machine.Cluster {
+	return machine.SpaceSimulator(netsim.ProfileLAM).WithObs(runObs)
+}
 
 func table1() {
 	b := cluster.SpaceSimulatorBOM()

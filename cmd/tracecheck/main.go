@@ -1,0 +1,134 @@
+// Command tracecheck validates the observability artifacts the simulator
+// emits: a Chrome trace_event JSON file (-trace) and/or a metrics snapshot
+// JSON file (-metrics). It exits nonzero with a diagnostic when a file does
+// not satisfy the expected schema, and prints a one-line summary when it
+// does. Used by `make ci` to smoke-test the tracing pipeline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"spacesim/internal/obs"
+)
+
+func main() {
+	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	metrics := flag.String("metrics", "", "metrics snapshot JSON file to validate")
+	flag.Parse()
+	if *trace == "" && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE]")
+		os.Exit(2)
+	}
+	ok := true
+	if *trace != "" {
+		ok = checkTrace(*trace) && ok
+	}
+	if *metrics != "" {
+		ok = checkMetrics(*metrics) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fail(path, format string, args ...any) bool {
+	fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, fmt.Sprintf(format, args...))
+	return false
+}
+
+// traceEvent mirrors the subset of the trace_event format the tracer emits.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Ph    string  `json:"ph"`
+	Ts    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	Pid   int     `json:"pid"`
+	Tid   int     `json:"tid"`
+	Scope string  `json:"id,omitempty"`
+}
+
+func checkTrace(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(path, "%v", err)
+	}
+	var doc struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fail(path, "not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fail(path, "no traceEvents")
+	}
+	spans, meta := 0, 0
+	pids := map[int]bool{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur < 0 {
+				return fail(path, "event %d (%s): negative duration %g", i, ev.Name, ev.Dur)
+			}
+		case "M":
+			meta++
+		case "b", "e":
+			// async nestable pair; names checked below like any event
+		default:
+			return fail(path, "event %d: unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return fail(path, "event %d: empty name", i)
+		}
+		if ev.Ts < 0 {
+			return fail(path, "event %d (%s): negative timestamp %g", i, ev.Name, ev.Ts)
+		}
+		pids[ev.Pid] = true
+	}
+	if spans == 0 {
+		return fail(path, "no complete (ph=X) span events")
+	}
+	if !pids[obs.PidRanks] {
+		return fail(path, "no events on the rank pid (%d)", obs.PidRanks)
+	}
+	fmt.Printf("tracecheck: %s ok: %d events (%d spans, %d metadata) across %d pids\n",
+		path, len(doc.TraceEvents), spans, meta, len(pids))
+	return true
+}
+
+func checkMetrics(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(path, "%v", err)
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fail(path, "not valid metrics JSON: %v", err)
+	}
+	if snap.SchemaVersion < 1 {
+		return fail(path, "schema_version %d < 1", snap.SchemaVersion)
+	}
+	if len(snap.Counters) == 0 {
+		return fail(path, "no counters")
+	}
+	if len(snap.Ranks) == 0 {
+		return fail(path, "no per-rank breakdown")
+	}
+	for _, rm := range snap.Ranks {
+		if rm.Clock < 0 || rm.ComputeSec < 0 || rm.WaitSec < 0 {
+			return fail(path, "rank %d: negative time in breakdown", rm.Rank)
+		}
+		if rm.ComputeSec+rm.WaitSec > rm.Clock*(1+1e-9)+1e-9 {
+			return fail(path, "rank %d: compute+wait %.6g exceeds clock %.6g",
+				rm.Rank, rm.ComputeSec+rm.WaitSec, rm.Clock)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, %d counters, %d gauges, %d ranks\n",
+		path, snap.SchemaVersion, len(snap.Counters), len(snap.Gauges), len(snap.Ranks))
+	return true
+}

@@ -7,6 +7,7 @@ import (
 	"spacesim/internal/htree"
 	"spacesim/internal/key"
 	"spacesim/internal/mp"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
 
@@ -76,6 +77,14 @@ type DTree struct {
 
 	// counters
 	fetches int64
+
+	// metric handles, resolved once at build time (all nil-safe).
+	ro                                    *obs.RankObs
+	o                                     *obs.Obs
+	cFetch, cDedup, cCacheHit, cCacheMiss *obs.Counter
+	cListCells, cListBodies, cBuckets     *obs.Counter
+	gListCellsMax, gListBodiesMax         *obs.Gauge
+	cPoolBusyNS, cPoolWallNS, cPoolJobs   *obs.Counter
 }
 
 // bodyCacheCap bounds the fetched-leaf-bodies cache. Once full, further
@@ -105,12 +114,20 @@ func (dt *DTree) requestCell(k key.K, owner int, st *TraversalStats, onReply fun
 	waiters, inFlight := dt.fetching[k]
 	dt.fetching[k] = append(waiters, onReply)
 	if inFlight {
+		// Another walker already asked for this cell; no new request goes out.
+		dt.cDedup.Inc()
 		return
 	}
 	st.Fetches++
 	dt.fetches++
+	dt.cFetch.Inc()
+	// Trace the fetch as an async span in virtual time: issued now, resolved
+	// when the reply continuation runs (both points on the rank goroutine).
+	fid := dt.fetches
+	t0 := dt.r.Clock()
 	dt.abm.Request(owner, hFetch, k, 8, func(resp any) {
 		reply := resp.(fetchReply)
+		dt.ro.Async("fetch", "fetch", fid, t0, dt.r.Clock())
 		// Cache so future walkers don't re-fetch.
 		if reply.Bodies != nil {
 			info := dt.remote[k]
@@ -147,6 +164,25 @@ func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3
 	}
 	dt.abm = mp.NewABM(r)
 	dt.abm.Handle(hFetch, dt.serveFetch)
+
+	// Resolve metric handles once; hot paths use the pointers directly.
+	dt.ro = r.Obs()
+	dt.o = r.WorldObs()
+	reg := r.Metrics()
+	dt.cFetch = reg.Counter("core.fetch.requests")
+	dt.cDedup = reg.Counter("core.fetch.dedup_hits")
+	dt.cCacheHit = reg.Counter("core.bodycache.hits")
+	dt.cCacheMiss = reg.Counter("core.bodycache.misses")
+	dt.cListCells = reg.Counter("core.list.cells")
+	dt.cListBodies = reg.Counter("core.list.bodies")
+	dt.cBuckets = reg.Counter("core.buckets")
+	dt.gListCellsMax = reg.Gauge("core.list.cells_max")
+	dt.gListBodiesMax = reg.Gauge("core.list.bodies_max")
+	dt.cPoolBusyNS = reg.Counter("core.pool.busy_ns")
+	dt.cPoolWallNS = reg.Counter("core.pool.wall_ns")
+	dt.cPoolJobs = reg.Counter("core.pool.jobs")
+
+	defer r.Span("phase", "tree-build")()
 
 	if len(bodies) > 0 {
 		pos := make([]vec.V3, len(bodies))
@@ -379,6 +415,11 @@ func (dt *DTree) bodiesCacheSet(k key.K, src []gravity.Source) {
 
 func (dt *DTree) bodiesCacheGet(k key.K) ([]gravity.Source, bool) {
 	src, ok := dt.bodyCache[k]
+	if ok {
+		dt.cCacheHit.Inc()
+	} else {
+		dt.cCacheMiss.Inc()
+	}
 	return src, ok
 }
 

@@ -18,13 +18,16 @@ package core
 // of the order in which fetch replies happened to arrive.
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"spacesim/internal/gravity"
 	"spacesim/internal/htree"
 	"spacesim/internal/key"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
 
@@ -79,15 +82,34 @@ type evalPool struct {
 	wg   sync.WaitGroup
 }
 
-func newEvalPool(workers int) *evalPool {
+// newEvalPool starts the workers. Each measures its busy time in *host*
+// nanoseconds (the pool is real host parallelism, not part of the virtual
+// machine model) and, when tracing, gets its own host-time trace row.
+func (dt *DTree) newEvalPool(workers int) *evalPool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &evalPool{jobs: make(chan func(), 4*workers)}
+	dt.r.Metrics().Gauge("core.pool.workers").Max(float64(workers))
 	for i := 0; i < workers; i++ {
+		var tr *obs.Track
+		if dt.o != nil && dt.o.Tracer != nil {
+			tr = dt.o.Tracer.Track(obs.PidWorkers, dt.r.ID()*256+i,
+				fmt.Sprintf("rank %d worker %d", dt.r.ID(), i))
+		}
 		go func() {
 			for f := range p.jobs {
+				t0 := time.Now()
+				var h0 float64
+				if tr != nil {
+					h0 = dt.o.Tracer.HostNow()
+				}
 				f()
+				if tr != nil {
+					tr.Span("eval", "bucket", h0, dt.o.Tracer.HostNow())
+				}
+				dt.cPoolBusyNS.Add(time.Since(t0).Nanoseconds())
+				dt.cPoolJobs.Inc()
 				p.wg.Done()
 			}
 		}()
@@ -136,7 +158,8 @@ func (dt *DTree) computeForcesGrouped(bodies []Body) ([]vec.V3, []float64, Trave
 	remaining := len(walkers)
 
 	charge := dt.chargeFunc(&st)
-	pool := newEvalPool(dt.opt.Workers)
+	hostStart := time.Now()
+	pool := dt.newEvalPool(dt.opt.Workers)
 	defer pool.close()
 	// Multi-rank lists mix locally walked and fetched data, so their order
 	// depends on reply timing; sorting restores a canonical order (see the
@@ -182,6 +205,7 @@ func (dt *DTree) computeForcesGrouped(bodies []Body) ([]vec.V3, []float64, Trave
 		dt.abm.Poll()
 	}
 	pool.wait()
+	dt.cPoolWallNS.Add(time.Since(hostStart).Nanoseconds())
 	charge()
 	dt.abm.Quiesce()
 	return acc, pot, st
@@ -275,6 +299,11 @@ func (dt *DTree) finishBucket(w *bucketWalker, st *TraversalStats, charge func()
 	ns := w.cell.Hi - w.cell.Lo
 	nc := len(w.cells)
 	nb := w.srcs.Len()
+	dt.cBuckets.Inc()
+	dt.cListCells.Add(int64(nc))
+	dt.cListBodies.Add(int64(nb))
+	dt.gListCellsMax.Max(float64(nc))
+	dt.gListBodiesMax.Max(float64(nb))
 	st.CellInteractions += int64(ns * nc)
 	// Every sink meets every listed body except itself (the bucket's own
 	// bodies are always on the list, since its own leaf can never pass the

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spacesim/internal/obs"
+)
+
+// Tracing must be purely observational: a grouped-engine run with the
+// tracer enabled, at any worker count, must produce bit-identical
+// accelerations and velocities. Virtual clocks are additionally pinned on
+// single-rank runs, where they are a pure function of the charged work; on
+// multi-rank polling workloads the clock depends on host-time message
+// arrival order (a pre-existing property of the latency-hiding engine, see
+// DESIGN.md on virtual-time semantics), so only the numerics are compared
+// there.
+func TestTracingBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	ics := PlummerSphere(rng, 600, 1.0)
+
+	run := func(procs int, trace bool, workers int) Result {
+		cl := testCluster()
+		if trace {
+			cl = cl.WithObs(obs.New(true))
+		}
+		return Run(RunConfig{
+			Cluster: cl, Procs: procs, Steps: 1,
+			Opt:          Options{Theta: 0.6, Eps: 0.02, DT: 0.005, Workers: workers},
+			GatherBodies: true,
+		}, ics)
+	}
+
+	for _, procs := range []int{1, 3} {
+		ref := run(procs, false, 1)
+		if len(ref.Bodies) != 600 {
+			t.Fatalf("procs=%d: gathered %d bodies, want 600", procs, len(ref.Bodies))
+		}
+		for _, trace := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				if !trace && workers == 1 {
+					continue // the reference itself
+				}
+				got := run(procs, trace, workers)
+				for i := range ref.Bodies {
+					if got.Bodies[i].Pos != ref.Bodies[i].Pos || got.Bodies[i].Vel != ref.Bodies[i].Vel {
+						t.Fatalf("procs=%d trace=%v workers=%d: body %d differs: %+v vs %+v",
+							procs, trace, workers, i, got.Bodies[i], ref.Bodies[i])
+					}
+				}
+				if procs == 1 {
+					for r := range ref.Comm.RankClocks {
+						if got.Comm.RankClocks[r] != ref.Comm.RankClocks[r] {
+							t.Fatalf("procs=%d trace=%v workers=%d: rank %d clock %v, want %v",
+								procs, trace, workers, r, got.Comm.RankClocks[r], ref.Comm.RankClocks[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The engine counters must be populated on a multi-rank run, and the
+// per-rank breakdown must expose nonzero compute and wait time.
+func TestEngineMetricsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ics := PlummerSphere(rng, 600, 1.0)
+	o := obs.New(false)
+	Run(RunConfig{
+		Cluster: testCluster().WithObs(o), Procs: 3, Steps: 1,
+		Opt: Options{Theta: 0.6, Eps: 0.02, DT: 0.005},
+	}, ics)
+
+	snap := o.Snapshot()
+	if snap.SchemaVersion != obs.MetricsSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", snap.SchemaVersion, obs.MetricsSchemaVersion)
+	}
+	for _, name := range []string{
+		"core.fetch.requests", "core.buckets", "core.list.cells",
+		"core.list.bodies", "core.pool.jobs", "mp.abm.batches",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Gauges["core.list.cells_max"] <= 0 {
+		t.Errorf("gauge core.list.cells_max = %v, want > 0", snap.Gauges["core.list.cells_max"])
+	}
+	if len(snap.Ranks) != 3 {
+		t.Fatalf("want 3 rank breakdowns, got %d", len(snap.Ranks))
+	}
+	for _, m := range snap.Ranks {
+		if m.ComputeSec <= 0 || m.Clock <= 0 {
+			t.Errorf("rank %d: compute %v clock %v, want > 0", m.Rank, m.ComputeSec, m.Clock)
+		}
+		if m.Messages <= 0 {
+			t.Errorf("rank %d: no messages recorded", m.Rank)
+		}
+	}
+}

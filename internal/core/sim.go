@@ -65,7 +65,9 @@ func Run(cfg RunConfig, ics []Body) Result {
 		local := append([]Body(nil), ics[lo:hi]...)
 
 		eval := func() ([]Body, []vec.V3, []float64, TraversalStats) {
+			endDecomp := r.Span("phase", "decompose")
 			bodies, splitters, boxLo, boxSize := Decompose(r, local)
+			endDecomp()
 			dt := BuildDistributed(r, bodies, splitters, boxLo, boxSize, opt)
 			acc, pot, ts := dt.ComputeForces(bodies)
 			// Feed each body's interaction count back as its decomposition
@@ -87,6 +89,7 @@ func Run(cfg RunConfig, ics []Body) Result {
 		}
 
 		for s := 0; s < cfg.Steps; s++ {
+			endStep := r.Span("phase", "step")
 			// kick half, drift
 			for i := range local {
 				local[i].Vel = local[i].Vel.AddScaled(opt.DT/2, acc[i])
@@ -102,6 +105,7 @@ func Run(cfg RunConfig, ics []Body) Result {
 			if e := diagnostics(r, local, pot); r.ID() == 0 {
 				energyAt[s+1] = e
 			}
+			endStep()
 		}
 
 		if cfg.GatherBodies {

@@ -65,6 +65,7 @@ type TraversalStats struct {
 // first, so repeated evaluations do not accumulate unbounded state.
 func (dt *DTree) ComputeForces(bodies []Body) ([]vec.V3, []float64, TraversalStats) {
 	dt.resetCaches()
+	defer dt.r.Span("phase", "walk")()
 	if dt.opt.PerBody {
 		return dt.computeForcesPerBody(bodies)
 	}

@@ -66,6 +66,7 @@ func RunParallel(cluster machine.Cluster, nprocs, n, nb int, seed int64) (Parall
 			// panel payload: nb pivot indices + nb factored columns (rows k0..n)
 			var panel []float64
 			if ow == me {
+				endFactor := r.Span("hpl", "panel-factor")
 				// factor panel columns locally
 				for j := k0; j < k1; j++ {
 					lj := lidx[j]
@@ -110,8 +111,12 @@ func RunParallel(cluster machine.Cluster, nprocs, n, nb int, seed int64) (Parall
 					copy(panel[off:off+(n-k0)], cols[lidx[j]][k0:])
 					off += n - k0
 				}
+				endFactor()
 			}
+			endBcast := r.Span("hpl", "panel-bcast")
 			panel = r.Bcast(ow, panel)
+			endBcast()
+			endUpdate := r.Span("hpl", "update")
 			if ow != me {
 				for j := k0; j < k1; j++ {
 					allPivots[j] = int(panel[j-k0])
@@ -151,6 +156,7 @@ func RunParallel(cluster machine.Cluster, nprocs, n, nb int, seed int64) (Parall
 				flops := 2 * float64(updated) * float64(nb) * float64(rows)
 				r.Charge(flops, dgemmEff, float64(8*updated*rows))
 			}
+			endUpdate()
 		}
 
 		// gather factored columns onto rank 0 and verify there

@@ -17,8 +17,20 @@ import (
 
 	"spacesim/internal/gravity"
 	"spacesim/internal/key"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
+
+// SetObs attaches an observation handle to the tree: grouped walks then
+// accumulate bucket/interaction counters and, when the tracer is enabled,
+// record each walk as a host-time span (the shared-memory tree runs on the
+// host, outside the virtual machine model).
+func (t *Tree) SetObs(o *obs.Obs) {
+	t.o = o
+	if o.Tracer != nil {
+		t.tr = o.Tracer.Track(obs.PidHost, 3, "htree walks")
+	}
+}
 
 // Leaves returns the leaf buckets in body order: depth-first by octant,
 // which is Morton-key order, so leaf i covers Bodies[leafI.Lo:leafI.Hi]
@@ -133,6 +145,10 @@ func (t *Tree) evalBucket(bucket *Cell, eps float64, useKarp bool, sc *groupScra
 // result — including every floating-point bit — is identical for any
 // worker count.
 func (t *Tree) AccelAllGrouped(theta, eps float64, useKarp bool, workers int) ([]vec.V3, []float64, WalkStats) {
+	var h0 float64
+	if t.tr != nil {
+		h0 = t.o.Tracer.HostNow()
+	}
 	n := len(t.Bodies)
 	acc := make([]vec.V3, n)
 	pot := make([]float64, n)
@@ -171,6 +187,16 @@ func (t *Tree) AccelAllGrouped(theta, eps float64, useKarp bool, workers int) ([
 		total.CellInteractions += stats[i].CellInteractions
 		total.BodyInteractions += stats[i].BodyInteractions
 		total.CellsOpened += stats[i].CellsOpened
+	}
+	if t.o != nil {
+		reg := t.o.Reg
+		reg.Counter("htree.walk.buckets").Add(int64(len(leaves)))
+		reg.Counter("htree.walk.cells_opened").Add(int64(total.CellsOpened))
+		reg.Counter("htree.walk.cell_interactions").Add(int64(total.CellInteractions))
+		reg.Counter("htree.walk.body_interactions").Add(int64(total.BodyInteractions))
+		if t.tr != nil {
+			t.tr.Span("htree", "grouped-walk", h0, t.o.Tracer.HostNow())
+		}
 	}
 	return acc, pot, total
 }

@@ -13,6 +13,7 @@ import (
 
 	"spacesim/internal/gravity"
 	"spacesim/internal/key"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
 
@@ -56,6 +57,10 @@ type Tree struct {
 
 	forceSplit func(k key.K) bool
 	cells      map[key.K]*Cell
+
+	// observation handles (no-ops until SetObs).
+	o  *obs.Obs
+	tr *obs.Track
 }
 
 // Options configures tree construction.

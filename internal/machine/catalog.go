@@ -1,6 +1,9 @@
 package machine
 
-import "spacesim/internal/netsim"
+import (
+	"spacesim/internal/netsim"
+	"spacesim/internal/obs"
+)
 
 // Cluster couples a node model, a node count, and a network model — enough
 // for the virtual-time message-passing layer to charge both computation and
@@ -11,6 +14,20 @@ type Cluster struct {
 	Node    Node
 	Net     *netsim.Network
 	CostUSD float64
+	// Obs, when set, observes every run on this cluster: the message-passing
+	// layer records metrics into its registry and — if its tracer is enabled
+	// — emits per-rank virtual-time spans. A nil Obs still collects metrics
+	// (mp.Run creates a private one); attaching it here is how callers get
+	// the data out and how tracing is switched on.
+	Obs *obs.Obs
+}
+
+// WithObs returns a copy of the cluster with the observation handle
+// attached (clusters are passed by value, so this composes with the
+// catalog constructors).
+func (c Cluster) WithObs(o *obs.Obs) Cluster {
+	c.Obs = o
+	return c
 }
 
 // PeakFlops returns the aggregate theoretical peak.

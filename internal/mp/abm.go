@@ -12,7 +12,11 @@ package mp
 // quiescence protocol (a polling-safe double-counting consensus) simple and
 // is all the treecode needs.
 
-import "runtime"
+import (
+	"runtime"
+
+	"spacesim/internal/obs"
+)
 
 // Handler serves one request item and returns the response payload along
 // with its accounted wire size.
@@ -55,6 +59,9 @@ type ABM struct {
 	// MaxBatchItems and MaxBatchBytes trigger an automatic flush.
 	MaxBatchItems int
 	MaxBatchBytes int64
+
+	// metric counters, resolved once at construction.
+	cBatches, cItems, cServed, cLocal *obs.Counter
 }
 
 // tagABMCtlBase is the start of the reserved tag range for the quiescence
@@ -63,6 +70,7 @@ const tagABMCtlBase = -200
 
 // NewABM creates the active-message endpoint for rank r.
 func NewABM(r *Rank) *ABM {
+	reg := r.w.obs.Reg
 	return &ABM{
 		r:             r,
 		handlers:      map[int]Handler{},
@@ -71,6 +79,10 @@ func NewABM(r *Rank) *ABM {
 		pending:       map[int64]func(resp any){},
 		MaxBatchItems: 32,
 		MaxBatchBytes: 16 << 10,
+		cBatches:      reg.Counter("mp.abm.batches"),
+		cItems:        reg.Counter("mp.abm.items"),
+		cServed:       reg.Counter("mp.abm.served"),
+		cLocal:        reg.Counter("mp.abm.local_requests"),
 	}
 }
 
@@ -89,6 +101,7 @@ func (a *ABM) Request(dst, id int, payload any, bytes int64, cont func(resp any)
 		if !ok {
 			panic("mp: ABM request for unregistered handler")
 		}
+		a.cLocal.Inc()
 		resp, _ := fn(a.r.id, payload)
 		cont(resp)
 		return
@@ -110,6 +123,8 @@ func (a *ABM) Flush(dst int) {
 		return
 	}
 	env := abmEnvelope{items: a.batch[dst]}
+	a.cBatches.Inc()
+	a.cItems.Add(int64(len(env.items)))
 	a.r.Send(dst, tagABM, env, a.batchBytes[dst]+16*int64(len(env.items)))
 	a.batch[dst] = nil
 	a.batchBytes[dst] = 0
@@ -154,6 +169,7 @@ func (a *ABM) Poll() int {
 			}
 			out, nb := fn(st.Source, it.payload)
 			a.served++
+			a.cServed.Inc()
 			resp.items = append(resp.items, abmItem{seq: it.seq, payload: out, bytes: nb})
 			respBytes += nb
 		}
@@ -195,6 +211,8 @@ func (a *ABM) pollingAllreduce3(x, y, z float64) [3]float64 {
 	if n == 1 {
 		return [3]float64{x, y, z}
 	}
+	// The consensus is a collective; attribute its traffic as such.
+	defer r.collective("abm-quiesce")()
 	// Round-stamped tags prevent cross-round confusion between invocations.
 	a.ctlRound++
 	tag := tagABMCtlBase - a.ctlRound%1000

@@ -32,6 +32,7 @@ func (r *Rank) Barrier() {
 	if n == 1 {
 		return
 	}
+	defer r.collective("barrier")()
 	for dist := 1; dist < n; dist *= 2 {
 		dst := (r.id + dist) % n
 		src := (r.id - dist + n) % n
@@ -47,6 +48,7 @@ func (r *Rank) Bcast(root int, buf []float64) []float64 {
 	if n == 1 {
 		return buf
 	}
+	defer r.collective("bcast")()
 	// Rotate ranks so the root is virtual rank 0.
 	vr := (r.id - root + n) % n
 	if vr != 0 {
@@ -75,6 +77,7 @@ func (r *Rank) Reduce(root int, buf []float64, op Op) []float64 {
 	if n == 1 {
 		return acc
 	}
+	defer r.collective("reduce")()
 	vr := (r.id - root + n) % n
 	for bit := 1; bit < n; bit *= 2 {
 		if vr&bit != 0 {
@@ -103,6 +106,7 @@ func (r *Rank) Allreduce(buf []float64, op Op) []float64 {
 	if n == 1 {
 		return acc
 	}
+	defer r.collective("allreduce")()
 	// Largest power of two <= n.
 	pof2 := 1
 	for pof2*2 <= n {
@@ -156,6 +160,9 @@ func (r *Rank) AllreduceInt(v int) int {
 // same order, so the per-rank round counters agree globally).
 func (r *Rank) Gather(root int, chunk []float64) [][]float64 {
 	n := r.w.n
+	if n > 1 {
+		defer r.collective("gather")()
+	}
 	tag := tagGatherBase - int(r.gatherSeq%1024)
 	r.gatherSeq++
 	if r.id != root {
@@ -184,6 +191,7 @@ func (r *Rank) Allgather(chunk []float64) [][]float64 {
 	if n == 1 {
 		return out
 	}
+	defer r.collective("allgather")()
 	right := (r.id + 1) % n
 	left := (r.id - 1 + n) % n
 	cur := r.id
@@ -204,6 +212,9 @@ func (r *Rank) Alltoall(chunks [][]float64) [][]float64 {
 	n := r.w.n
 	if len(chunks) != n {
 		panic("mp: Alltoall needs one chunk per rank")
+	}
+	if n > 1 {
+		defer r.collective("alltoall")()
 	}
 	out := make([][]float64, n)
 	out[r.id] = chunks[r.id]
@@ -241,6 +252,9 @@ func (r *Rank) AlltoallAny(chunks []any, bytes []int64) []any {
 	if len(chunks) != n || len(bytes) != n {
 		panic("mp: AlltoallAny needs one chunk and size per rank")
 	}
+	if n > 1 {
+		defer r.collective("alltoall")()
+	}
 	out := make([]any, n)
 	out[r.id] = chunks[r.id]
 	if n&(n-1) == 0 {
@@ -273,6 +287,7 @@ func (r *Rank) AllgatherAny(chunk any, bytes int64) []any {
 	if n == 1 {
 		return out
 	}
+	defer r.collective("allgather")()
 	right := (r.id + 1) % n
 	left := (r.id - 1 + n) % n
 	cur := r.id
@@ -290,6 +305,9 @@ func (r *Rank) AllgatherAny(chunk any, bytes int64) []any {
 // op(v_0, ..., v_{i-1}); rank 0 receives 0 (for OpSum semantics).
 func (r *Rank) ExScan(v float64, op Op) float64 {
 	n := r.w.n
+	if n > 1 {
+		defer r.collective("exscan")()
+	}
 	acc := v      // running inclusive value to forward
 	result := 0.0 // exclusive prefix
 	havePrefix := false

@@ -24,6 +24,7 @@ import (
 
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
+	"spacesim/internal/obs"
 )
 
 // AnySource and AnyTag are wildcard selectors for Recv.
@@ -111,6 +112,18 @@ type World struct {
 	statsMu    sync.Mutex
 	totalMsgs  int64
 	totalBytes int64
+	collMsgs   int64
+	collBytes  int64
+
+	// obs observes the run: always non-nil inside Run (a private handle is
+	// created when the cluster carries none), with per-module byte counters
+	// resolved once so the send path stays cheap.
+	obs           *obs.Obs
+	moduleTx      []*obs.Counter
+	moduleRx      []*obs.Counter
+	trunkBytes    *obs.Counter
+	congestedMsgs *obs.Counter
+	netTracks     []*obs.Track // per switch module; nil without a tracer
 
 	// congestedBps caches the per-flow fair-share bandwidth under a full
 	// random-permutation load, used by dense collectives (alltoall).
@@ -129,6 +142,16 @@ type Stats struct {
 	// generated inside collectives.
 	Messages int64
 	Bytes    int64
+	// CollectiveMessages and CollectiveBytes break out the subset of
+	// Messages/Bytes generated inside collective operations (and the ABM
+	// quiescence consensus), so point-to-point and collective traffic are
+	// accounted consistently and separably.
+	CollectiveMessages int64
+	CollectiveBytes    int64
+	// Obs is the observation handle of the run: the cluster's, or the
+	// private one created by Run. Its registry and per-rank breakdowns are
+	// valid once Run returns.
+	Obs *obs.Obs
 }
 
 // Run executes fn on nprocs ranks of the given cluster and returns timing
@@ -146,25 +169,59 @@ func Run(cluster machine.Cluster, nprocs int, fn func(r *Rank)) Stats {
 	for i := range w.boxes {
 		w.boxes[i] = newInbox()
 	}
+	w.initObs()
 	clocks := make([]float64, nprocs)
 	var wg sync.WaitGroup
 	wg.Add(nprocs)
 	for i := 0; i < nprocs; i++ {
 		r := &Rank{id: i, w: w, rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+		r.obs = w.obs.Rank(i)
 		go func() {
 			defer wg.Done()
 			fn(r)
 			clocks[r.id] = r.clock
+			r.obs.M.Clock = r.clock
 		}()
 	}
 	wg.Wait()
-	st := Stats{RankClocks: clocks, Messages: w.totalMsgs, Bytes: w.totalBytes}
+	st := Stats{
+		RankClocks: clocks,
+		Messages:   w.totalMsgs, Bytes: w.totalBytes,
+		CollectiveMessages: w.collMsgs, CollectiveBytes: w.collBytes,
+		Obs: w.obs,
+	}
 	for _, c := range clocks {
 		if c > st.ElapsedVirtual {
 			st.ElapsedVirtual = c
 		}
 	}
 	return st
+}
+
+// initObs resolves the run's observation handle (the cluster's, or a fresh
+// private one) and pre-creates the per-module network counters and trace
+// rows so the send path never takes the registry lock.
+func (w *World) initObs() {
+	w.obs = w.cluster.Obs
+	if w.obs == nil {
+		w.obs = obs.New(false)
+	}
+	topo := w.cluster.Net.Topo
+	modules := (topo.Nodes + topo.PortsPerModule - 1) / topo.PortsPerModule
+	w.moduleTx = make([]*obs.Counter, modules)
+	w.moduleRx = make([]*obs.Counter, modules)
+	for m := 0; m < modules; m++ {
+		w.moduleTx[m] = w.obs.Reg.Counter(fmt.Sprintf("net.module.%02d.tx_bytes", m))
+		w.moduleRx[m] = w.obs.Reg.Counter(fmt.Sprintf("net.module.%02d.rx_bytes", m))
+	}
+	w.trunkBytes = w.obs.Reg.Counter("net.trunk.bytes")
+	w.congestedMsgs = w.obs.Reg.Counter("net.congested.msgs")
+	if tr := w.obs.Tracer; tr != nil {
+		w.netTracks = make([]*obs.Track, modules)
+		for m := 0; m < modules; m++ {
+			w.netTracks[m] = tr.Track(obs.PidNet, m, fmt.Sprintf("module %d", m))
+		}
+	}
 }
 
 // congestedRate returns the mean fair per-flow bandwidth (bits/s) across
@@ -218,6 +275,53 @@ type Rank struct {
 	// gatherSeq stamps Gather rounds (collectives are SPMD-ordered, so the
 	// per-rank counter is globally consistent).
 	gatherSeq int64
+
+	// obs is the rank's observation handle (always non-nil inside Run); it
+	// only ever reads the clock, never advances it.
+	obs *obs.RankObs
+	// collDepth > 0 while inside a collective, for traffic attribution.
+	collDepth int
+	// msgSeq numbers this rank's sends for async trace slice ids.
+	msgSeq int64
+}
+
+// Obs returns the rank's observation handle: per-rank metric accumulators
+// plus its virtual-time trace row (Track is nil when tracing is off).
+func (r *Rank) Obs() *obs.RankObs { return r.obs }
+
+// Metrics returns the run-wide metrics registry, for engine-level counters.
+func (r *Rank) Metrics() *obs.Registry { return r.w.obs.Reg }
+
+// WorldObs returns the run's observation handle (shared across ranks).
+func (r *Rank) WorldObs() *obs.Obs { return r.w.obs }
+
+// Span records a virtual-time phase span on this rank's trace row, closed
+// when the returned function is invoked:
+//
+//	defer r.Span("comm", "panel-bcast")()
+//
+// The span is purely observational; it reads the clock at both ends.
+func (r *Rank) Span(cat, name string) func() {
+	if r.obs.Track == nil {
+		return func() {}
+	}
+	t0 := r.clock
+	return func() { r.obs.Span(cat, name, t0, r.clock) }
+}
+
+// collective brackets one collective operation: the outermost level records
+// a span and the collective-time accumulator, and while the depth is
+// nonzero every message is attributed to collective traffic.
+func (r *Rank) collective(name string) func() {
+	r.collDepth++
+	t0 := r.clock
+	return func() {
+		r.collDepth--
+		if r.collDepth == 0 {
+			r.obs.M.CollectiveSec += r.clock - t0
+			r.obs.Span("collective", name, t0, r.clock)
+		}
+	}
 }
 
 // ID returns the rank number in [0, Size).
@@ -248,14 +352,20 @@ func (r *Rank) Node() machine.Node { return r.w.cluster.Node }
 // eff plus bytes of main-memory traffic (roofline, no overlap). It also
 // accumulates the rank's flop counter for rate reporting.
 func (r *Rank) Charge(flops, eff, bytes float64) {
+	t0 := r.clock
 	r.clock += r.w.cluster.Node.Time(flops, eff, bytes)
 	r.flopsCharged += flops
 	r.bytesMoved += bytes
+	r.obs.M.ComputeSec += r.clock - t0
+	r.obs.Span("compute", "compute", t0, r.clock)
 }
 
 // ChargeDisk advances virtual time for local-disk streaming I/O.
 func (r *Rank) ChargeDisk(bytes float64) {
+	t0 := r.clock
 	r.clock += r.w.cluster.Node.DiskTime(bytes)
+	r.obs.M.DiskSec += r.clock - t0
+	r.obs.Span("disk", "disk", t0, r.clock)
 }
 
 // FlopsCharged returns the cumulative flops this rank has charged.
@@ -283,6 +393,7 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 	}
 	net := r.w.cluster.Net
 	// Sender-side software overhead.
+	t0 := r.clock
 	r.clock += net.Prof.PerMsgOverheadSec
 	var xfer float64
 	if dst == r.id {
@@ -294,15 +405,48 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 			xfer += p.RendezvousSec
 		}
 		xfer += float64(bytes) * 8 / r.w.congestedRate()
+		r.w.congestedMsgs.Inc()
 	} else {
 		xfer = net.TransferTime(r.id, dst, bytes)
 	}
 	m := message{src: r.id, tag: tag, data: data, bytes: bytes, arrive: r.clock + xfer}
 	r.w.boxes[dst].put(m)
-	r.w.statsMu.Lock()
-	r.w.totalMsgs++
-	r.w.totalBytes += bytes
-	r.w.statsMu.Unlock()
+	r.observeSend(dst, bytes, t0, m.arrive)
+}
+
+// observeSend folds one message into the world totals, the per-rank
+// breakdown, the per-module byte counters, and — when tracing — the network
+// rows (an async slice on the source module spanning the transfer).
+func (r *Rank) observeSend(dst int, bytes int64, t0, arrive float64) {
+	w := r.w
+	coll := r.collDepth > 0
+	w.statsMu.Lock()
+	w.totalMsgs++
+	w.totalBytes += bytes
+	if coll {
+		w.collMsgs++
+		w.collBytes += bytes
+	}
+	w.statsMu.Unlock()
+	r.obs.M.Messages++
+	r.obs.M.Bytes += bytes
+	r.obs.M.SendSec += w.cluster.Net.Prof.PerMsgOverheadSec
+	r.obs.Span("comm", "send", t0, r.clock)
+	if dst == r.id {
+		return
+	}
+	topo := w.cluster.Net.Topo
+	ms, md := topo.Module(r.id), topo.Module(dst)
+	w.moduleTx[ms].Add(bytes)
+	w.moduleRx[md].Add(bytes)
+	if topo.Switch(r.id) != topo.Switch(dst) {
+		w.trunkBytes.Add(bytes)
+	}
+	if w.netTracks != nil {
+		r.msgSeq++
+		id := int64(r.id)<<40 | r.msgSeq
+		w.netTracks[ms].Async("net", "msg", id, r.clock, arrive)
+	}
 }
 
 // Recv blocks until a message matching (src, tag) arrives (wildcards
@@ -311,6 +455,8 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 func (r *Rank) Recv(src, tag int) (any, Status) {
 	m := r.w.boxes[r.id].take(src, tag)
 	if m.arrive > r.clock {
+		r.obs.M.WaitSec += m.arrive - r.clock
+		r.obs.Span("comm", "wait", r.clock, m.arrive)
 		r.clock = m.arrive
 	}
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
@@ -326,6 +472,8 @@ func (r *Rank) TryRecv(src, tag int) (any, Status, bool) {
 		return nil, Status{}, false
 	}
 	if m.arrive > r.clock {
+		r.obs.M.WaitSec += m.arrive - r.clock
+		r.obs.Span("comm", "wait", r.clock, m.arrive)
 		r.clock = m.arrive
 	}
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}, true

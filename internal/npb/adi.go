@@ -110,6 +110,7 @@ func adiEvolve(r *mp.Rank, bench Benchmark, class Class, u []float64, g, iters i
 	const lambda = 0.4 // dt/dx^2
 
 	for it := 0; it < iters; it++ {
+		endIter := r.Span("npb", "adi-iter")
 		// x and y direction implicit solves: local to the slab
 		for dir := 0; dir < 2; dir++ {
 			adiSweepLocal(u, g, nz, dir, lambda)
@@ -127,6 +128,7 @@ func adiEvolve(r *mp.Rank, bench Benchmark, class Class, u []float64, g, iters i
 		}
 		r.Charge(acctPtsPerRank*den.flopsPerPt/3, den.eff, acctPtsPerRank*den.bytesPerPt/3)
 		transposeXZ(r, tr, u, g, nz, acctChunk)
+		endIter()
 	}
 }
 

@@ -55,10 +55,12 @@ func RunCG(cluster machine.Cluster, procs int, class Class, actualGrid int) Resu
 		bb := rr
 		iters := miniIters
 		for it := 0; it < iters; it++ {
+			endIter := r.Span("npb", "cg-iter")
 			ap := f.applyLaplacian(r, p, haloBytes)
 			r.Charge(opsPerIter, den.eff, opsPerIter*den.bytesPerPt)
 			pap := dotAll(r, p, ap)
 			if pap == 0 {
+				endIter()
 				break
 			}
 			alpha := rr / pap
@@ -72,6 +74,7 @@ func RunCG(cluster machine.Cluster, procs int, class Class, actualGrid int) Resu
 			for i := range p {
 				p[i] = rv[i] + beta*p[i]
 			}
+			endIter()
 		}
 		if r.ID() == 0 {
 			rel := math.Sqrt(rr / bb)

@@ -1,0 +1,317 @@
+// Package obs is the observability layer of the simulator: a lightweight
+// metrics registry (typed counters and gauges, cheap enough to stay on by
+// default and safe under the host worker pool) and an opt-in event tracer
+// that records per-rank spans in *virtual* time and emits Chrome
+// trace_event JSON.
+//
+// Two invariants make instrumentation safe to leave enabled:
+//
+//  1. Observation never perturbs virtual time. Every hook reads a rank's
+//     clock; none advances it. A run with tracing on is bit-identical to a
+//     run with tracing off.
+//  2. Metric aggregation is order-independent. Counters only Add and gauges
+//     only fold with Max/Add, so concurrent updates from rank goroutines
+//     and pool workers commute and a snapshot does not depend on host
+//     scheduling.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricsSchemaVersion stamps the metrics snapshot JSON.
+const MetricsSchemaVersion = 1
+
+// Counter is a monotonically accumulating int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add accumulates n (concurrency-safe, order-independent).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric folded with order-independent operations
+// (Add for sums, Max for high-water marks).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Add accumulates v into the gauge (atomic compare-and-swap loop).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64frombits(old) + v
+		if g.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// Max folds v in with the maximum operation.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named set of counters and gauges. Lookup is get-or-create;
+// callers hold the returned pointer for hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Counter returns the named counter, creating it on first use. Safe on a
+// nil registry (returns a nil Counter whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Safe on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns the current values of every metric, sorted by name via
+// the map key order of encoding/json (deterministic output).
+func (r *Registry) Snapshot() (counters map[string]int64, gauges map[string]float64) {
+	counters = map[string]int64{}
+	gauges = map[string]float64{}
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	return
+}
+
+// RankMetrics is the per-rank virtual-time breakdown of a run. The fields
+// are written only by the owning rank's goroutine during the run and read
+// after mp.Run returns, so no locking is needed.
+type RankMetrics struct {
+	Rank int `json:"rank"`
+	// Clock is the rank's final virtual clock in seconds.
+	Clock float64 `json:"clock"`
+	// ComputeSec is virtual time advanced by roofline compute charges.
+	ComputeSec float64 `json:"compute_sec"`
+	// WaitSec is virtual time the clock jumped forward to message arrivals
+	// (time the rank would have spent blocked in a receive).
+	WaitSec float64 `json:"wait_sec"`
+	// SendSec is per-message sender-side software overhead.
+	SendSec float64 `json:"send_sec"`
+	// CollectiveSec is wall-span virtual time inside collective operations
+	// (its interior compute/wait/send is also counted in those fields).
+	CollectiveSec float64 `json:"collective_sec"`
+	// DiskSec is virtual time charged to local-disk streaming I/O.
+	DiskSec float64 `json:"disk_sec"`
+	// Messages and Bytes count messages this rank sent.
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// Obs couples one run's registry, per-rank metrics, and optional tracer.
+// One Obs may observe several mp.Run invocations (e.g. a benchmark sweep):
+// per-rank accumulators and trace tracks are reused by rank id.
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer // nil when tracing is disabled
+
+	mu    sync.Mutex
+	ranks []*RankObs
+}
+
+// New returns an Obs with metrics enabled and, if trace is set, a tracer.
+func New(trace bool) *Obs {
+	o := &Obs{Reg: NewRegistry()}
+	if trace {
+		o.Tracer = NewTracer()
+	}
+	return o
+}
+
+// Rank returns the accumulator for the given rank id, creating it (and its
+// trace track) on first use. Called from the run setup goroutine; the
+// returned RankObs is then owned by the rank's goroutine.
+func (o *Obs) Rank(id int) *RankObs {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.ranks) <= id {
+		o.ranks = append(o.ranks, nil)
+	}
+	if o.ranks[id] == nil {
+		ro := &RankObs{M: RankMetrics{Rank: id}}
+		if o.Tracer != nil {
+			ro.Track = o.Tracer.Track(PidRanks, id, rankName(id))
+		}
+		o.ranks[id] = ro
+	}
+	return o.ranks[id]
+}
+
+// RankMetrics returns the per-rank breakdowns recorded so far, in rank
+// order. Call after mp.Run returns.
+func (o *Obs) RankMetrics() []RankMetrics {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]RankMetrics, 0, len(o.ranks))
+	for _, ro := range o.ranks {
+		if ro != nil {
+			out = append(out, ro.M)
+		}
+	}
+	return out
+}
+
+// MetricsSnapshot is the JSON shape of a metrics dump.
+type MetricsSnapshot struct {
+	SchemaVersion int                `json:"schema_version"`
+	Counters      map[string]int64   `json:"counters"`
+	Gauges        map[string]float64 `json:"gauges"`
+	Ranks         []RankMetrics      `json:"ranks"`
+}
+
+// Snapshot captures the registry and per-rank breakdowns.
+func (o *Obs) Snapshot() MetricsSnapshot {
+	c, g := o.Reg.Snapshot()
+	return MetricsSnapshot{
+		SchemaVersion: MetricsSchemaVersion,
+		Counters:      c,
+		Gauges:        g,
+		Ranks:         o.RankMetrics(),
+	}
+}
+
+// WriteMetrics writes the metrics snapshot as indented JSON.
+func (o *Obs) WriteMetrics(w io.Writer) error {
+	data, err := json.MarshalIndent(o.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteMetricsFile dumps the metrics snapshot to path.
+func (o *Obs) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTraceFile dumps the Chrome trace to path; no-op without a tracer.
+func (o *Obs) WriteTraceFile(path string) error {
+	if o.Tracer == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RankObs is one rank's observation handle: metric accumulators owned by
+// the rank goroutine plus the rank's trace track (nil without a tracer).
+type RankObs struct {
+	M     RankMetrics
+	Track *Track
+}
+
+// Span records a complete virtual-time span on the rank's trace row; no-op
+// without a tracer. Purely observational: never touches the clock.
+func (ro *RankObs) Span(cat, name string, t0, t1 float64) {
+	if ro == nil || ro.Track == nil {
+		return
+	}
+	ro.Track.Span(cat, name, t0, t1)
+}
+
+// Async records a virtual-time span that may overlap others on the rank's
+// row (rendered as a nestable async slice keyed by id).
+func (ro *RankObs) Async(cat, name string, id int64, t0, t1 float64) {
+	if ro == nil || ro.Track == nil {
+		return
+	}
+	ro.Track.Async(cat, name, id, t0, t1)
+}

@@ -18,6 +18,7 @@ import (
 	"spacesim/internal/gravity"
 	"spacesim/internal/htree"
 	"spacesim/internal/key"
+	"spacesim/internal/obs"
 	"spacesim/internal/pario"
 	"spacesim/internal/vec"
 )
@@ -41,6 +42,32 @@ type Store struct {
 	// Reads counts block loads from disk (cache misses), the out-of-core
 	// cost metric.
 	Reads int
+
+	// observation handles (no-ops until SetObs).
+	o           *obs.Obs
+	tr          *obs.Track
+	cHit, cMiss *obs.Counter
+}
+
+// SetObs attaches an observation handle: block-cache hit/miss counters and,
+// when the tracer is enabled, a host-time row for the store's passes.
+func (s *Store) SetObs(o *obs.Obs) {
+	s.o = o
+	s.cHit = o.Reg.Counter("ooc.cache.hits")
+	s.cMiss = o.Reg.Counter("ooc.cache.misses")
+	if o.Tracer != nil {
+		s.tr = o.Tracer.Track(obs.PidHost, 1, "ooc store")
+	}
+}
+
+// span opens a host-time span on the store's trace row; the returned closure
+// ends it (a no-op without a tracer).
+func (s *Store) span(name string) func() {
+	if s.tr == nil {
+		return func() {}
+	}
+	h0 := s.o.Tracer.HostNow()
+	return func() { s.tr.Span("ooc", name, h0, s.o.Tracer.HostNow()) }
 }
 
 // Block is one resident particle block.
@@ -111,8 +138,10 @@ func keyFromFloatPair(hi, lo float64) key.K {
 // an arbitrary non-requested resident block when full).
 func (s *Store) LoadBlock(b int) (*Block, error) {
 	if blk, ok := s.cache[b]; ok {
+		s.cHit.Inc()
 		return blk, nil
 	}
+	s.cMiss.Inc()
 	path := filepath.Join(s.Dir, fmt.Sprintf("block.%04d", b))
 	data, err := pario.ReadStripe(path, b)
 	if err != nil {
@@ -145,6 +174,7 @@ func (s *Store) LoadBlock(b int) (*Block, error) {
 // BlockMultipoles computes each block's multipole by streaming the store
 // once — the coarse in-memory tree of the out-of-core pass.
 func (s *Store) BlockMultipoles() ([]gravity.Multipole, error) {
+	defer s.span("block-multipoles")()
 	out := make([]gravity.Multipole, s.NumBlocks)
 	for b := 0; b < s.NumBlocks; b++ {
 		blk, err := s.LoadBlock(b)
@@ -173,6 +203,7 @@ func blockBmax(blk *Block, from vec.V3) float64 {
 // theta is the block-level acceptance parameter; eps the softening.
 // Results are indexed in store (key) order.
 func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
+	defer s.span("force-pass")()
 	mps := make([]gravity.Multipole, s.NumBlocks)
 	bmax := make([]float64, s.NumBlocks)
 	for b := 0; b < s.NumBlocks; b++ {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"spacesim/internal/htree"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
 
@@ -68,6 +69,32 @@ type Sim struct {
 	// maxDiffOverH2 is max_i D_i/h_i^2 from the last force evaluation,
 	// the explicit-diffusion stability bound.
 	maxDiffOverH2 float64
+
+	// observation handles (no-ops until SetObs).
+	o      *obs.Obs
+	tr     *obs.Track
+	cSteps *obs.Counter
+}
+
+// SetObs attaches an observation handle: a step counter and, when the
+// tracer is enabled, a host-time row with the per-step phase spans (SPH runs
+// on the host, not inside the virtual machine model).
+func (s *Sim) SetObs(o *obs.Obs) {
+	s.o = o
+	s.cSteps = o.Reg.Counter("sph.steps")
+	if o.Tracer != nil {
+		s.tr = o.Tracer.Track(obs.PidHost, 2, "sph sim")
+	}
+}
+
+// span opens a host-time span on the simulation's trace row; the returned
+// closure ends it (a no-op without a tracer).
+func (s *Sim) span(name string) func() {
+	if s.tr == nil {
+		return func() {}
+	}
+	h0 := s.o.Tracer.HostNow()
+	return func() { s.tr.Span("sph", name, h0, s.o.Tracer.HostNow()) }
 }
 
 // NewSim wraps particle state with a configuration and initializes
@@ -100,6 +127,7 @@ func NewSim(cfg Config, p *Particles) *Sim {
 // UpdateDensity recomputes smoothing lengths (two fixed-point iterations
 // toward the target neighbor count) and densities.
 func (s *Sim) UpdateDensity() {
+	defer s.span("density")()
 	p := s.P
 	n := p.N()
 	// support 2h holds NN neighbors: (4pi/3)(2h)^3 rho/m = NN
@@ -133,6 +161,7 @@ func (s *Sim) UpdateDensity() {
 // computeForces fills acc (pressure + viscosity + gravity), dudt, and the
 // neutrino-field derivatives.
 func (s *Sim) computeForces() {
+	defer s.span("forces")()
 	p := s.P
 	n := p.N()
 	cfg := s.Cfg
@@ -282,6 +311,11 @@ func (s *Sim) TimestepCFL() float64 {
 // Step advances the system by one adaptive step (symplectic Euler with
 // Courant, acceleration and diffusion limits) and returns dt.
 func (s *Sim) Step() float64 {
+	endStep := s.span("step")
+	defer func() {
+		endStep()
+		s.cSteps.Inc()
+	}()
 	p := s.P
 	s.computeForces()
 	dt := s.TimestepCFL()
