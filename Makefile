@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke ci all
 
 all: build test vet fmt-check
 
@@ -36,6 +36,14 @@ smoke:
 	$(GO) run ./cmd/tracecheck \
 		-trace /tmp/spacesim-smoke-trace.json -metrics /tmp/spacesim-smoke-metrics.json
 
+# Trace-analysis smoke: a quick analyze run on the 2-module slice,
+# schema-validation of the report, and a self-diff (which must pass — the
+# no-op case of the CI perf gate).
+analyze-smoke:
+	$(GO) run ./cmd/ssbench analyze -quick -analysis-out /tmp/spacesim-smoke-analysis.json
+	$(GO) run ./cmd/tracecheck -analysis /tmp/spacesim-smoke-analysis.json
+	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-analysis.json /tmp/spacesim-smoke-analysis.json
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
-# the observability smoke run.
-ci: fmt-check vet test race smoke
+# the observability + trace-analysis smoke runs.
+ci: fmt-check vet test race smoke analyze-smoke

@@ -7,6 +7,8 @@
 //	spacesim [-n 4000] [-procs 16] [-steps 10] [-dt 0.005] [-theta 0.7]
 //	         [-ic plummer|coldsphere] [-karp] [-checkpoint dir]
 //	         [-trace trace.json] [-metrics metrics.json]
+//	         [-report] [-analysis ANALYSIS.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -14,11 +16,15 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"spacesim/internal/core"
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/analysis"
 	"spacesim/internal/pario"
 )
 
@@ -36,8 +42,36 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "directory for a final striped checkpoint")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 		metrics = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
+		report  = flag.Bool("report", false, "retain structured telemetry and print the trace analysis")
+		aOut    = flag.String("analysis", "ANALYSIS.json", "analysis report path (with -report)")
+		cpuProf = flag.String("cpuprofile", "", "write a host-side CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a host-side heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var ics []core.Body
@@ -51,6 +85,9 @@ func main() {
 	}
 
 	o := obs.New(*trace != "")
+	if *report {
+		o.EnableEvents()
+	}
 	cl := machine.SpaceSimulator(netsim.ProfileLAM).WithObs(o)
 	res := core.Run(core.RunConfig{
 		Cluster: cl, Procs: *procs, Steps: *steps,
@@ -81,6 +118,21 @@ func main() {
 			log.Fatalf("checkpoint: %v", err)
 		}
 		fmt.Printf("  checkpoint: %s (%d bodies)\n", path, len(res.Bodies))
+	}
+
+	if *report {
+		rep, err := analysis.Analyze(o, cl, analysis.Options{})
+		if err != nil {
+			log.Fatalf("report: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(rep.Render())
+		if *aOut != "" {
+			if err := rep.WriteJSON(*aOut); err != nil {
+				log.Fatalf("report: %v", err)
+			}
+			fmt.Printf("  analysis: %s\n", *aOut)
+		}
 	}
 
 	if *metrics != "" {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"spacesim/internal/core"
+	"spacesim/internal/machine"
+	"spacesim/internal/netsim"
+	"spacesim/internal/obs/analysis"
+)
+
+var analysisOut = flag.String("analysis-out", "ANALYSIS.json", "output path for the analyze experiment's report")
+
+// analyzeCluster is a deliberately small two-module slice of the Space
+// Simulator fabric: four ports per module, one module per chassis, so an
+// 8-rank run exercises the NICs, both module backplanes, and the
+// inter-switch trunk.
+func analyzeCluster() machine.Cluster {
+	topo := netsim.Topology{
+		Nodes:           8,
+		PortsPerModule:  4,
+		ModulesSwitchA:  1,
+		ModuleUplinkBps: 8e9,
+		TrunkBps:        8e9,
+		NICBps:          1e9,
+		Efficiency:      0.65,
+	}
+	return machine.Cluster{
+		Name:  "Space Simulator (2-module slice)",
+		Nodes: 8,
+		Node:  machine.SpaceSimulatorNode,
+		Net:   netsim.MustNew(topo, netsim.ProfileLAM),
+	}
+}
+
+// analyzeBench runs the treecode on the 2-module 8-rank slice with event
+// retention on, then runs the trace analysis: critical path, per-phase
+// efficiency, latency percentiles, and per-link utilization.
+func analyzeBench() {
+	n, steps := 8192, 2
+	if *quick {
+		n, steps = 2048, 1
+	}
+	runObs.EnableEvents()
+	cl := analyzeCluster().WithObs(runObs)
+
+	rng := rand.New(rand.NewSource(1))
+	ics := core.PlummerSphere(rng, n, 1.0)
+	res := core.Run(core.RunConfig{
+		Cluster: cl, Procs: 8, Steps: steps,
+		Opt: core.Options{Theta: 0.7, Eps: 0.01, DT: 1e-3, MaxLeaf: 16, Workers: 4},
+	}, ics)
+
+	rep, err := analysis.Analyze(runObs, cl, analysis.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("treecode on %s: N=%d, 8 ranks, %d steps, virtual %.3f s, %.1f Gflop/s\n\n",
+		cl.Name, n, res.Steps, res.ElapsedVirtual, res.Gflops)
+	fmt.Print(rep.Render())
+	if *analysisOut != "" {
+		if err := rep.WriteJSON(*analysisOut); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze: write:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *analysisOut)
+	}
+}
+
+// diffCmd compares two ANALYSIS.json files and exits nonzero when the new
+// run regressed past the thresholds — the CI perf gate.
+func diffCmd(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	th := analysis.DefaultThresholds()
+	fs.Float64Var(&th.MakespanFrac, "makespan-frac", th.MakespanFrac,
+		"allowed relative virtual-makespan increase")
+	fs.Float64Var(&th.CategoryFrac, "category-frac", th.CategoryFrac,
+		"allowed relative increase per critical-path category")
+	fs.Float64Var(&th.LatencyP99Frac, "latency-p99-frac", th.LatencyP99Frac,
+		"allowed relative message-latency p99 increase")
+	fs.Float64Var(&th.EfficiencyDrop, "efficiency-drop", th.EfficiencyDrop,
+		"allowed absolute parallel-efficiency drop")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ssbench diff [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldR, err := analysis.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diff:", err)
+		os.Exit(2)
+	}
+	newR, err := analysis.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diff:", err)
+		os.Exit(2)
+	}
+	d := analysis.Diff(oldR, newR, th)
+	fmt.Print(d.Render())
+	if !d.OK() {
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"spacesim/internal/core"
 	"spacesim/internal/htree"
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/analysis"
 	"spacesim/internal/vec"
 )
 
@@ -51,6 +52,9 @@ type groupDistributed struct {
 //	2 — adds schema_version, the distributed run summary, and the embedded
 //	    observability metrics snapshot (per-rank breakdown, interaction-list
 //	    sizes, cache hit rates, worker-pool utilization)
+//	3 — adds the trace-analysis summary of the distributed run (virtual
+//	    makespan, parallel efficiency, critical-path breakdown, message
+//	    latency p99); the metrics snapshot gains histograms
 type groupReport struct {
 	SchemaVersion   int                  `json:"schema_version"`
 	N               int                  `json:"n"`
@@ -66,6 +70,7 @@ type groupReport struct {
 	NsPerInterRatio float64              `json:"ns_per_interaction_per_body_over_grouped_w1"`
 	Distributed     *groupDistributed    `json:"distributed,omitempty"`
 	Metrics         *obs.MetricsSnapshot `json:"metrics,omitempty"`
+	Analysis        *analysis.Summary    `json:"analysis,omitempty"`
 }
 
 // groupBench times the per-body treewalk against the bucket-grouped one on a
@@ -154,10 +159,21 @@ func groupBench() {
 	if *quick {
 		procs, steps = 4, 1
 	}
+	cl := ssCluster()
+	runObs.EnableEvents()
 	dres := core.Run(core.RunConfig{
-		Cluster: ssCluster(), Procs: procs, Steps: steps,
+		Cluster: cl, Procs: procs, Steps: steps,
 		Opt: core.Options{Theta: theta, Eps: eps, DT: 1e-3, MaxLeaf: maxLeaf, Workers: dw},
 	}, ics)
+	// Trace analysis of the distributed run. Under `ssbench all` the shared
+	// observer has already seen other runs, whose events would mix into this
+	// one's timeline; detect that by checking the analysis makespan against
+	// this run's virtual elapsed time and skip the summary when they differ.
+	var asum *analysis.Summary
+	if arep, err := analysis.Analyze(runObs, cl, analysis.Options{}); err == nil &&
+		math.Abs(arep.MakespanSec-dres.ElapsedVirtual) <= 1e-9*dres.ElapsedVirtual {
+		asum = arep.Summary()
+	}
 	snap := runObs.Snapshot()
 	util := 0.0
 	if wall, wk := snap.Counters["core.pool.wall_ns"], snap.Gauges["core.pool.workers"]; wall > 0 && wk > 0 {
@@ -165,8 +181,9 @@ func groupBench() {
 	}
 
 	rep := groupReport{
-		SchemaVersion: 2,
+		SchemaVersion: 3,
 		N:             n, Theta: theta, Eps: eps, MaxLeaf: maxLeaf, GOMAXPROCS: nw,
+		Analysis: asum,
 		Distributed: &groupDistributed{
 			Procs: procs, Workers: dw, Steps: dres.Steps,
 			ElapsedVirtualSec: dres.ElapsedVirtual, Gflops: dres.Gflops,
@@ -197,6 +214,10 @@ func groupBench() {
 		rep.RmsDiffW1, rep.MaxPotDiffRel, nw)
 	fmt.Printf("distributed run: %d ranks x %d workers, %d steps, virtual %.2f s, %.1f Gflop/s, imbalance %.2f, pool util %.0f%%\n",
 		procs, dw, dres.Steps, dres.ElapsedVirtual, dres.Gflops, dres.MaxImbalance, 100*util)
+	if asum != nil {
+		fmt.Printf("analysis: critical path %.3fs over %d hops, parallel efficiency %.0f%%, msg latency p99 %.3gs\n",
+			asum.CriticalPathSec, asum.CriticalPathHops, 100*asum.ParallelEfficiency, asum.MsgLatencyP99Sec)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -16,6 +16,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -39,6 +41,8 @@ var (
 	quick      = flag.Bool("quick", false, "shrink the simulated workloads for a fast pass")
 	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (enables the tracer)")
 	metricsOut = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
+	cpuProfile = flag.String("cpuprofile", "", "write a host-side CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a host-side heap profile to this file on exit")
 )
 
 // runObs observes every cluster run of the invocation (see ssCluster); the
@@ -52,6 +56,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// diff takes positional file arguments and its own threshold flags, so
+	// it bypasses the global re-parse below.
+	if args[0] == "diff" {
+		diffCmd(args[1:])
+		return
+	}
 	// Flags are accepted after the experiment name too:
 	// ssbench group --trace=t.json --metrics=m.json
 	if len(args) > 1 {
@@ -61,6 +71,8 @@ func main() {
 	}
 	runObs = obs.New(*traceOut != "")
 	defer writeObs()
+	defer stopProfiles()
+	startProfiles()
 	cmds := map[string]func(){
 		"table1":      table1,
 		"table2":      table2,
@@ -77,6 +89,7 @@ func main() {
 		"fig7":        fig7,
 		"fig8":        fig8,
 		"group":       groupBench,
+		"analyze":     analyzeBench,
 		"switch":      switchBackplane,
 		"spec":        spec,
 		"reliability": reliabilityReport,
@@ -104,7 +117,43 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] <table1|table2|...|fig8|group|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|analyze|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json")
+}
+
+// startProfiles begins host-side pprof capture when requested.
+func startProfiles() {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// stopProfiles flushes the pprof outputs.
+func stopProfiles() {
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // writeObs flushes the run's trace and metrics files, if requested.

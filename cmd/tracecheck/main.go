@@ -1,25 +1,30 @@
 // Command tracecheck validates the observability artifacts the simulator
-// emits: a Chrome trace_event JSON file (-trace) and/or a metrics snapshot
-// JSON file (-metrics). It exits nonzero with a diagnostic when a file does
-// not satisfy the expected schema, and prints a one-line summary when it
-// does. Used by `make ci` to smoke-test the tracing pipeline.
+// emits: a Chrome trace_event JSON file (-trace), a metrics snapshot JSON
+// file (-metrics), a trace-analysis report (-analysis), and/or a treecode
+// benchmark record (-bench). It exits nonzero with a diagnostic when a
+// file does not satisfy the expected schema, and prints a one-line summary
+// when it does. Used by `make ci` to smoke-test the observability pipeline.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/analysis"
 )
 
 func main() {
 	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
 	metrics := flag.String("metrics", "", "metrics snapshot JSON file to validate")
+	analysisPath := flag.String("analysis", "", "trace-analysis report (ANALYSIS.json) to validate")
+	bench := flag.String("bench", "", "treecode benchmark record (BENCH_treecode.json) to validate")
 	flag.Parse()
-	if *trace == "" && *metrics == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE]")
+	if *trace == "" && *metrics == "" && *analysisPath == "" && *bench == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE] [-analysis FILE] [-bench FILE]")
 		os.Exit(2)
 	}
 	ok := true
@@ -28,6 +33,12 @@ func main() {
 	}
 	if *metrics != "" {
 		ok = checkMetrics(*metrics) && ok
+	}
+	if *analysisPath != "" {
+		ok = checkAnalysis(*analysisPath) && ok
+	}
+	if *bench != "" {
+		ok = checkBench(*bench) && ok
 	}
 	if !ok {
 		os.Exit(1)
@@ -128,7 +139,135 @@ func checkMetrics(path string) bool {
 				rm.Rank, rm.ComputeSec+rm.WaitSec, rm.Clock)
 		}
 	}
-	fmt.Printf("tracecheck: %s ok: schema v%d, %d counters, %d gauges, %d ranks\n",
-		path, snap.SchemaVersion, len(snap.Counters), len(snap.Gauges), len(snap.Ranks))
+	for name, h := range snap.Histograms {
+		if !histogramSane(h) {
+			return fail(path, "histogram %s: inconsistent summary %+v", name, h)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, %d counters, %d gauges, %d histograms, %d ranks\n",
+		path, snap.SchemaVersion, len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(snap.Ranks))
+	return true
+}
+
+// histogramSane checks the internal ordering of one histogram summary:
+// nonnegative count and, when populated, min <= p50 <= p95 <= p99 <= max.
+func histogramSane(h obs.HistogramSnapshot) bool {
+	if h.Count < 0 {
+		return false
+	}
+	if h.Count == 0 {
+		return true
+	}
+	return h.Min <= h.P50 && h.P50 <= h.P95 && h.P95 <= h.P99 && h.P99 <= h.Max
+}
+
+// checkAnalysis validates an ANALYSIS.json report: schema version, a
+// positive makespan fully accounted for by the critical path, nonnegative
+// category attribution, consistent phase statistics, and sane utilization.
+func checkAnalysis(path string) bool {
+	rep, err := analysis.ReadFile(path)
+	if err != nil {
+		return fail(path, "%v", err)
+	}
+	if rep.SchemaVersion < 1 {
+		return fail(path, "schema_version %d < 1", rep.SchemaVersion)
+	}
+	if rep.Ranks <= 0 {
+		return fail(path, "ranks = %d", rep.Ranks)
+	}
+	if rep.MakespanSec <= 0 {
+		return fail(path, "makespan %g, want > 0", rep.MakespanSec)
+	}
+	if rep.ParallelEfficiency < 0 || rep.ParallelEfficiency > 1+1e-9 {
+		return fail(path, "parallel efficiency %g outside [0, 1]", rep.ParallelEfficiency)
+	}
+	cp := rep.CriticalPath
+	if d := math.Abs(cp.TotalSec - rep.MakespanSec); d > 1e-6*rep.MakespanSec {
+		return fail(path, "critical path %g does not equal makespan %g", cp.TotalSec, rep.MakespanSec)
+	}
+	var catSum float64
+	for cat, v := range cp.ByCategory {
+		if v < 0 {
+			return fail(path, "critical path category %q negative: %g", cat, v)
+		}
+		catSum += v
+	}
+	if d := math.Abs(catSum - cp.TotalSec); d > 1e-6*cp.TotalSec {
+		return fail(path, "critical path categories sum to %g, want %g", catSum, cp.TotalSec)
+	}
+	for _, p := range rep.Phases {
+		if p.MeanSec < 0 || p.MaxSec < p.MeanSec-1e-9 {
+			return fail(path, "phase %s: mean %g max %g", p.Name, p.MeanSec, p.MaxSec)
+		}
+		if p.IdleFraction < 0 || p.IdleFraction > 1+1e-9 {
+			return fail(path, "phase %s: idle fraction %g", p.Name, p.IdleFraction)
+		}
+	}
+	for name, h := range rep.Histograms {
+		if !histogramSane(h) {
+			return fail(path, "histogram %s: inconsistent summary %+v", name, h)
+		}
+	}
+	for _, l := range rep.Links {
+		if l.Bytes < 0 || l.MeanUtil < 0 || l.PeakUtil < l.MeanUtil-1e-9 {
+			return fail(path, "link %s: bytes %d mean %g peak %g", l.Name, l.Bytes, l.MeanUtil, l.PeakUtil)
+		}
+		if l.BusyFraction < 0 || l.BusyFraction > 1 {
+			return fail(path, "link %s: busy fraction %g", l.Name, l.BusyFraction)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, %d ranks, makespan %.6gs, %d path segments, %d phases, %d links\n",
+		path, rep.SchemaVersion, rep.Ranks, rep.MakespanSec, len(cp.Segments), len(rep.Phases), len(rep.Links))
+	return true
+}
+
+// checkBench validates BENCH_treecode.json. Records at schema_version >= 3
+// must embed both the metrics snapshot and the trace-analysis summary.
+func checkBench(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(path, "%v", err)
+	}
+	var rep struct {
+		SchemaVersion int                  `json:"schema_version"`
+		N             int                  `json:"n"`
+		Results       []json.RawMessage    `json:"results"`
+		Metrics       *obs.MetricsSnapshot `json:"metrics"`
+		Analysis      *analysis.Summary    `json:"analysis"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fail(path, "not valid bench JSON: %v", err)
+	}
+	if rep.N <= 0 || len(rep.Results) == 0 {
+		return fail(path, "missing workload description (n=%d, %d results)", rep.N, len(rep.Results))
+	}
+	if rep.SchemaVersion >= 2 && rep.Metrics == nil {
+		return fail(path, "schema v%d record without embedded metrics", rep.SchemaVersion)
+	}
+	if rep.SchemaVersion >= 3 {
+		a := rep.Analysis
+		if a == nil {
+			return fail(path, "schema v%d record without embedded analysis summary", rep.SchemaVersion)
+		}
+		if a.MakespanSec <= 0 || a.CriticalPathSec <= 0 {
+			return fail(path, "analysis summary not populated: %+v", a)
+		}
+		if d := math.Abs(a.CriticalPathSec - a.MakespanSec); d > 1e-6*a.MakespanSec {
+			return fail(path, "analysis critical path %g does not equal makespan %g",
+				a.CriticalPathSec, a.MakespanSec)
+		}
+		var catSum float64
+		for cat, v := range a.ByCategory {
+			if v < 0 {
+				return fail(path, "analysis category %q negative: %g", cat, v)
+			}
+			catSum += v
+		}
+		if d := math.Abs(catSum - a.CriticalPathSec); d > 1e-6*a.CriticalPathSec {
+			return fail(path, "analysis categories sum to %g, want %g", catSum, a.CriticalPathSec)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, n=%d, %d results, metrics=%v, analysis=%v\n",
+		path, rep.SchemaVersion, rep.N, len(rep.Results), rep.Metrics != nil, rep.Analysis != nil)
 	return true
 }

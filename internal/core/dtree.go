@@ -84,6 +84,7 @@ type DTree struct {
 	cFetch, cDedup, cCacheHit, cCacheMiss *obs.Counter
 	cListCells, cListBodies, cBuckets     *obs.Counter
 	gListCellsMax, gListBodiesMax         *obs.Gauge
+	hListCells, hListBodies               *obs.Histogram
 	cPoolBusyNS, cPoolWallNS, cPoolJobs   *obs.Counter
 }
 
@@ -178,6 +179,8 @@ func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3
 	dt.cBuckets = reg.Counter("core.buckets")
 	dt.gListCellsMax = reg.Gauge("core.list.cells_max")
 	dt.gListBodiesMax = reg.Gauge("core.list.bodies_max")
+	dt.hListCells = reg.Histogram("core.list.cells_len")
+	dt.hListBodies = reg.Histogram("core.list.bodies_len")
 	dt.cPoolBusyNS = reg.Counter("core.pool.busy_ns")
 	dt.cPoolWallNS = reg.Counter("core.pool.wall_ns")
 	dt.cPoolJobs = reg.Counter("core.pool.jobs")

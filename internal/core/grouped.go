@@ -304,6 +304,8 @@ func (dt *DTree) finishBucket(w *bucketWalker, st *TraversalStats, charge func()
 	dt.cListBodies.Add(int64(nb))
 	dt.gListCellsMax.Max(float64(nc))
 	dt.gListBodiesMax.Max(float64(nb))
+	dt.hListCells.Observe(float64(nc))
+	dt.hListBodies.Observe(float64(nb))
 	st.CellInteractions += int64(ns * nc)
 	// Every sink meets every listed body except itself (the bucket's own
 	// bodies are always on the list, since its own leaf can never pass the

@@ -5,54 +5,79 @@ import (
 	"testing"
 
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/analysis"
 )
 
-// Tracing must be purely observational: a grouped-engine run with the
-// tracer enabled, at any worker count, must produce bit-identical
-// accelerations and velocities. Virtual clocks are additionally pinned on
-// single-rank runs, where they are a pure function of the charged work; on
-// multi-rank polling workloads the clock depends on host-time message
-// arrival order (a pre-existing property of the latency-hiding engine, see
-// DESIGN.md on virtual-time semantics), so only the numerics are compared
-// there.
+// Observation must be purely observational: a grouped-engine run with the
+// tracer enabled — or with event retention plus a post-run analysis — at
+// any worker count, must produce bit-identical accelerations and
+// velocities. Virtual clocks are additionally pinned on single-rank runs,
+// where they are a pure function of the charged work; on multi-rank
+// polling workloads the clock depends on host-time message arrival order
+// (a pre-existing property of the latency-hiding engine, see DESIGN.md on
+// virtual-time semantics), so only the numerics are compared there.
 func TestTracingBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
 	ics := PlummerSphere(rng, 600, 1.0)
 
-	run := func(procs int, trace bool, workers int) Result {
+	run := func(procs int, mode string, workers int) Result {
 		cl := testCluster()
-		if trace {
-			cl = cl.WithObs(obs.New(true))
+		var o *obs.Obs
+		switch mode {
+		case "trace":
+			o = obs.New(true)
+		case "analyze":
+			o = obs.New(false).EnableEvents()
 		}
-		return Run(RunConfig{
+		if o != nil {
+			cl = cl.WithObs(o)
+		}
+		res := Run(RunConfig{
 			Cluster: cl, Procs: procs, Steps: 1,
 			Opt:          Options{Theta: 0.6, Eps: 0.02, DT: 0.005, Workers: workers},
 			GatherBodies: true,
 		}, ics)
+		if mode == "analyze" {
+			// The analysis itself is read-only on telemetry; it must
+			// succeed and account for the whole makespan.
+			rep, err := analysis.Analyze(o, cl, analysis.Options{})
+			if err != nil {
+				t.Fatalf("procs=%d workers=%d: analyze: %v", procs, workers, err)
+			}
+			var segSum float64
+			for _, s := range rep.CriticalPath.Segments {
+				segSum += s.Dur()
+			}
+			if d := segSum - rep.MakespanSec; d > 1e-9*rep.MakespanSec || d < -1e-9*rep.MakespanSec {
+				t.Fatalf("procs=%d workers=%d: critical path segments cover %v of makespan %v",
+					procs, workers, segSum, rep.MakespanSec)
+			}
+		}
+		return res
 	}
 
 	for _, procs := range []int{1, 3} {
-		ref := run(procs, false, 1)
+		ref := run(procs, "plain", 1)
 		if len(ref.Bodies) != 600 {
 			t.Fatalf("procs=%d: gathered %d bodies, want 600", procs, len(ref.Bodies))
 		}
-		for _, trace := range []bool{false, true} {
+		for _, mode := range []string{"plain", "trace", "analyze"} {
 			for _, workers := range []int{1, 4} {
-				if !trace && workers == 1 {
+				if mode == "plain" && workers == 1 {
 					continue // the reference itself
 				}
-				got := run(procs, trace, workers)
+				got := run(procs, mode, workers)
 				for i := range ref.Bodies {
 					if got.Bodies[i].Pos != ref.Bodies[i].Pos || got.Bodies[i].Vel != ref.Bodies[i].Vel {
-						t.Fatalf("procs=%d trace=%v workers=%d: body %d differs: %+v vs %+v",
-							procs, trace, workers, i, got.Bodies[i], ref.Bodies[i])
+						t.Fatalf("procs=%d mode=%v workers=%d: body %d differs: %+v vs %+v",
+							procs, mode, workers, i, got.Bodies[i], ref.Bodies[i])
 					}
 				}
 				if procs == 1 {
 					for r := range ref.Comm.RankClocks {
 						if got.Comm.RankClocks[r] != ref.Comm.RankClocks[r] {
-							t.Fatalf("procs=%d trace=%v workers=%d: rank %d clock %v, want %v",
-								procs, trace, workers, r, got.Comm.RankClocks[r], ref.Comm.RankClocks[r])
+							t.Fatalf("procs=%d mode=%v workers=%d: rank %d clock %v, want %v",
+								procs, mode, workers, r, got.Comm.RankClocks[r], ref.Comm.RankClocks[r])
 						}
 					}
 				}

@@ -33,6 +33,42 @@ func (c Cluster) WithObs(o *obs.Obs) Cluster {
 // PeakFlops returns the aggregate theoretical peak.
 func (c Cluster) PeakFlops() float64 { return float64(c.Nodes) * c.Node.PeakFlops }
 
+// Info is the machine identity stamped into analysis artifacts so that a
+// run-to-run diff can refuse to compare runs modeled on different hardware.
+type Info struct {
+	Name             string  `json:"name"`
+	Nodes            int     `json:"nodes"`
+	NodeName         string  `json:"node"`
+	PeakFlopsPerNode float64 `json:"peak_flops_per_node"`
+	StreamBps        float64 `json:"stream_bps"`
+	NetProfile       string  `json:"net_profile"`
+	NICBps           float64 `json:"nic_bps"`
+	ModuleUplinkBps  float64 `json:"module_uplink_bps"`
+	TrunkBps         float64 `json:"trunk_bps"`
+	PortsPerModule   int     `json:"ports_per_module"`
+	NetEfficiency    float64 `json:"net_efficiency"`
+}
+
+// Info summarizes the cluster model.
+func (c Cluster) Info() Info {
+	i := Info{
+		Name:             c.Name,
+		Nodes:            c.Nodes,
+		NodeName:         c.Node.Name,
+		PeakFlopsPerNode: c.Node.PeakFlops,
+		StreamBps:        c.Node.StreamBps,
+	}
+	if c.Net != nil {
+		i.NetProfile = c.Net.Prof.Name
+		i.NICBps = c.Net.Topo.NICBps
+		i.ModuleUplinkBps = c.Net.Topo.ModuleUplinkBps
+		i.TrunkBps = c.Net.Topo.TrunkBps
+		i.PortsPerModule = c.Net.Topo.PortsPerModule
+		i.NetEfficiency = c.Net.Topo.Efficiency
+	}
+	return i
+}
+
 // DollarsPerMflops returns price/performance against a measured aggregate
 // rate in flop/s — the paper's headline metric (63.9 cents per Mflop/s for
 // Linpack on the SS).

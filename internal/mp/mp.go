@@ -46,11 +46,15 @@ const (
 	tagSort
 )
 
-// message is an in-flight payload with its virtual arrival time.
+// message is an in-flight payload with its virtual arrival time. sent is
+// the sender's clock when the send began — carried along so the receiver
+// can record the full dependency edge (sender send-time -> arrival) for
+// critical-path analysis without any cross-rank matching.
 type message struct {
 	src, tag int
 	data     any
 	bytes    int64
+	sent     float64
 	arrive   float64
 }
 
@@ -124,6 +128,10 @@ type World struct {
 	trunkBytes    *obs.Counter
 	congestedMsgs *obs.Counter
 	netTracks     []*obs.Track // per switch module; nil without a tracer
+	hMsgLatency   *obs.Histogram
+	hMsgBytes     *obs.Histogram
+	hCollBytes    *obs.Histogram
+	hCollSec      *obs.Histogram
 
 	// congestedBps caches the per-flow fair-share bandwidth under a full
 	// random-permutation load, used by dense collectives (alltoall).
@@ -216,6 +224,10 @@ func (w *World) initObs() {
 	}
 	w.trunkBytes = w.obs.Reg.Counter("net.trunk.bytes")
 	w.congestedMsgs = w.obs.Reg.Counter("net.congested.msgs")
+	w.hMsgLatency = w.obs.Reg.Histogram("mp.msg.latency_sec")
+	w.hMsgBytes = w.obs.Reg.Histogram("mp.msg.bytes")
+	w.hCollBytes = w.obs.Reg.Histogram("mp.collective.msg_bytes")
+	w.hCollSec = w.obs.Reg.Histogram("mp.collective.sec")
 	if tr := w.obs.Tracer; tr != nil {
 		w.netTracks = make([]*obs.Track, modules)
 		for m := 0; m < modules; m++ {
@@ -302,7 +314,7 @@ func (r *Rank) WorldObs() *obs.Obs { return r.w.obs }
 //
 // The span is purely observational; it reads the clock at both ends.
 func (r *Rank) Span(cat, name string) func() {
-	if r.obs.Track == nil {
+	if !r.obs.Observing() {
 		return func() {}
 	}
 	t0 := r.clock
@@ -320,6 +332,7 @@ func (r *Rank) collective(name string) func() {
 		if r.collDepth == 0 {
 			r.obs.M.CollectiveSec += r.clock - t0
 			r.obs.Span("collective", name, t0, r.clock)
+			r.w.hCollSec.Observe(r.clock - t0)
 		}
 	}
 }
@@ -409,14 +422,15 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 	} else {
 		xfer = net.TransferTime(r.id, dst, bytes)
 	}
-	m := message{src: r.id, tag: tag, data: data, bytes: bytes, arrive: r.clock + xfer}
+	m := message{src: r.id, tag: tag, data: data, bytes: bytes, sent: t0, arrive: r.clock + xfer}
 	r.w.boxes[dst].put(m)
 	r.observeSend(dst, bytes, t0, m.arrive)
 }
 
 // observeSend folds one message into the world totals, the per-rank
-// breakdown, the per-module byte counters, and — when tracing — the network
-// rows (an async slice on the source module spanning the transfer).
+// breakdown, the per-module byte counters, the latency/size histograms, the
+// structured event log, and — when tracing — the network rows (an async
+// slice on the source module spanning the transfer).
 func (r *Rank) observeSend(dst int, bytes int64, t0, arrive float64) {
 	w := r.w
 	coll := r.collDepth > 0
@@ -432,6 +446,12 @@ func (r *Rank) observeSend(dst int, bytes int64, t0, arrive float64) {
 	r.obs.M.Bytes += bytes
 	r.obs.M.SendSec += w.cluster.Net.Prof.PerMsgOverheadSec
 	r.obs.Span("comm", "send", t0, r.clock)
+	r.obs.MsgSent(dst, bytes, t0, r.clock, arrive, coll)
+	w.hMsgLatency.Observe(arrive - t0)
+	w.hMsgBytes.Observe(float64(bytes))
+	if coll {
+		w.hCollBytes.Observe(float64(bytes))
+	}
 	if dst == r.id {
 		return
 	}
@@ -454,11 +474,14 @@ func (r *Rank) observeSend(dst int, bytes int64, t0, arrive float64) {
 // returns its payload.
 func (r *Rank) Recv(src, tag int) (any, Status) {
 	m := r.w.boxes[r.id].take(src, tag)
-	if m.arrive > r.clock {
+	waitFrom := r.clock
+	waited := m.arrive > r.clock
+	if waited {
 		r.obs.M.WaitSec += m.arrive - r.clock
 		r.obs.Span("comm", "wait", r.clock, m.arrive)
 		r.clock = m.arrive
 	}
+	r.obs.MsgRecvd(m.src, m.bytes, m.sent, m.arrive, waitFrom, waited)
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
 }
 
@@ -471,11 +494,14 @@ func (r *Rank) TryRecv(src, tag int) (any, Status, bool) {
 	if !ok {
 		return nil, Status{}, false
 	}
-	if m.arrive > r.clock {
+	waitFrom := r.clock
+	waited := m.arrive > r.clock
+	if waited {
 		r.obs.M.WaitSec += m.arrive - r.clock
 		r.obs.Span("comm", "wait", r.clock, m.arrive)
 		r.clock = m.arrive
 	}
+	r.obs.MsgRecvd(m.src, m.bytes, m.sent, m.arrive, waitFrom, waited)
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}, true
 }
 

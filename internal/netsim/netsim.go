@@ -195,6 +195,66 @@ type Flow struct {
 	Rate     float64 // bits/s, output
 }
 
+// Link identifies one shared capacity in the fabric: a host NIC transmit
+// or receive port, a switch-module backplane connection (ingress "up" to
+// the chassis fabric or egress "down" from it), or the inter-switch trunk.
+// CapacityBps is the usable rate (already derated by Topology.Efficiency
+// for backplane and trunk links).
+type Link struct {
+	Kind        LinkKind
+	ID          int // host for NICs, module for backplane links, 0 for the trunk
+	CapacityBps float64
+}
+
+// LinkKind names a class of shared fabric resource.
+type LinkKind string
+
+// Link classes, from the host outward.
+const (
+	LinkNICTx      LinkKind = "nic-tx"
+	LinkNICRx      LinkKind = "nic-rx"
+	LinkModuleUp   LinkKind = "module-up"
+	LinkModuleDown LinkKind = "module-down"
+	LinkTrunk      LinkKind = "trunk"
+)
+
+// Name returns a stable human-readable identifier ("module-up 3", "trunk").
+func (l Link) Name() string {
+	if l.Kind == LinkTrunk {
+		return string(l.Kind)
+	}
+	return fmt.Sprintf("%s %d", l.Kind, l.ID)
+}
+
+// key is the map identity of a link (capacity excluded).
+func (l Link) key() resource { return resource{string(l.Kind), l.ID} }
+
+// PathLinks returns the shared links a src->dst flow crosses, in order from
+// source to destination: the NICs always; the module backplane up/down pair
+// when the endpoints sit on different switch modules; the trunk when they
+// sit on different chassis. A self-send crosses nothing. This is the single
+// source of truth for byte accounting: the FairShare contention solver and
+// the link-utilization analysis both consume it.
+func (t Topology) PathLinks(src, dst int) []Link {
+	if src == dst {
+		return nil
+	}
+	path := []Link{
+		{Kind: LinkNICTx, ID: src, CapacityBps: t.NICBps},
+		{Kind: LinkNICRx, ID: dst, CapacityBps: t.NICBps},
+	}
+	ms, md := t.Module(src), t.Module(dst)
+	if ms != md {
+		path = append(path,
+			Link{Kind: LinkModuleUp, ID: ms, CapacityBps: t.ModuleUplinkBps * t.Efficiency},
+			Link{Kind: LinkModuleDown, ID: md, CapacityBps: t.ModuleUplinkBps * t.Efficiency})
+	}
+	if t.Switch(src) != t.Switch(dst) {
+		path = append(path, Link{Kind: LinkTrunk, CapacityBps: t.TrunkBps * t.Efficiency})
+	}
+	return path
+}
+
 // resource identifies one shared capacity in the fabric.
 type resource struct {
 	kind string
@@ -202,41 +262,22 @@ type resource struct {
 }
 
 // FairShare computes max-min fair rates (bits/s) for a set of concurrent
-// flows using progressive filling. Resources: per-host NIC transmit and
-// receive at line rate; per-module backplane ingress/egress at derated
-// uplink capacity (only for flows leaving the module); the inter-switch
-// trunk at derated capacity (only for flows crossing chassis).
+// flows using progressive filling over the PathLinks of every flow.
 func (n *Network) FairShare(flows []Flow) []float64 {
 	t := n.Topo
 	caps := map[resource]float64{}
 	paths := make([][]resource, len(flows))
-	addRes := func(r resource, c float64) {
-		if _, ok := caps[r]; !ok {
-			caps[r] = c
-		}
-	}
 	for i, f := range flows {
 		if f.Src == f.Dst {
 			continue // local copies do not touch the fabric
 		}
-		var path []resource
-		tx := resource{"tx", f.Src}
-		rx := resource{"rx", f.Dst}
-		addRes(tx, t.NICBps)
-		addRes(rx, t.NICBps)
-		path = append(path, tx, rx)
-		ms, md := t.Module(f.Src), t.Module(f.Dst)
-		if ms != md {
-			up := resource{"module-up", ms}
-			down := resource{"module-down", md}
-			addRes(up, t.ModuleUplinkBps*t.Efficiency)
-			addRes(down, t.ModuleUplinkBps*t.Efficiency)
-			path = append(path, up, down)
-		}
-		if t.Switch(f.Src) != t.Switch(f.Dst) {
-			tr := resource{"trunk", 0}
-			addRes(tr, t.TrunkBps*t.Efficiency)
-			path = append(path, tr)
+		links := t.PathLinks(f.Src, f.Dst)
+		path := make([]resource, len(links))
+		for j, l := range links {
+			path[j] = l.key()
+			if _, ok := caps[path[j]]; !ok {
+				caps[path[j]] = l.CapacityBps
+			}
 		}
 		paths[i] = path
 	}

@@ -272,3 +272,65 @@ func BenchmarkFairShare64Flows(b *testing.B) {
 		n.FairShare(flows)
 	}
 }
+
+func TestPathLinks(t *testing.T) {
+	topo := SpaceSimulatorTopology() // 16 ports/module, 15 modules on switch A
+
+	if got := topo.PathLinks(5, 5); got != nil {
+		t.Fatalf("self-send crosses links: %v", got)
+	}
+
+	kinds := func(links []Link) []LinkKind {
+		out := make([]LinkKind, len(links))
+		for i, l := range links {
+			out[i] = l.Kind
+		}
+		return out
+	}
+	eq := func(a []LinkKind, b ...LinkKind) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Same module: only the two NICs are shared.
+	intra := topo.PathLinks(0, 15)
+	if !eq(kinds(intra), LinkNICTx, LinkNICRx) {
+		t.Fatalf("intra-module path: %v", intra)
+	}
+	if intra[0].ID != 0 || intra[1].ID != 15 || intra[0].CapacityBps != topo.NICBps {
+		t.Fatalf("intra-module path detail: %v", intra)
+	}
+
+	// Cross-module, same switch: NICs plus the backplane up/down pair.
+	cross := topo.PathLinks(0, 16)
+	if !eq(kinds(cross), LinkNICTx, LinkNICRx, LinkModuleUp, LinkModuleDown) {
+		t.Fatalf("cross-module path: %v", cross)
+	}
+	if cross[2].ID != 0 || cross[3].ID != 1 {
+		t.Fatalf("cross-module module ids: %v", cross)
+	}
+	wantCap := topo.ModuleUplinkBps * topo.Efficiency
+	if cross[2].CapacityBps != wantCap || cross[3].CapacityBps != wantCap {
+		t.Fatalf("backplane capacity not derated: %v", cross)
+	}
+
+	// Cross-switch: additionally the trunk, also derated.
+	far := topo.PathLinks(0, 240)
+	if !eq(kinds(far), LinkNICTx, LinkNICRx, LinkModuleUp, LinkModuleDown, LinkTrunk) {
+		t.Fatalf("cross-switch path: %v", far)
+	}
+	trunk := far[len(far)-1]
+	if trunk.CapacityBps != topo.TrunkBps*topo.Efficiency {
+		t.Fatalf("trunk capacity: %v", trunk)
+	}
+	if trunk.Name() != "trunk" || far[0].Name() != "nic-tx 0" || far[2].Name() != "module-up 0" {
+		t.Fatalf("link names: %q %q %q", trunk.Name(), far[0].Name(), far[2].Name())
+	}
+}

@@ -1,0 +1,111 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"spacesim/internal/obs"
+	"spacesim/internal/obs/analysis"
+)
+
+func baselineReport(t *testing.T) *analysis.Report {
+	t.Helper()
+	rep, err := analysis.Analyze(handTrace(), handCluster(), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Histograms = map[string]obs.HistogramSnapshot{
+		"mp.msg.latency_sec": {Count: 100, P50: 1e-4, P95: 2e-4, P99: 3e-4, Min: 1e-5, Max: 4e-4},
+	}
+	return rep
+}
+
+func TestDiffSelfIsClean(t *testing.T) {
+	rep := baselineReport(t)
+	d := analysis.Diff(rep, rep, analysis.DefaultThresholds())
+	if !d.OK() {
+		t.Fatalf("self-diff found regressions: %v", d.Regressions)
+	}
+	if !strings.Contains(d.Render(), "OK") {
+		t.Fatalf("render = %q", d.Render())
+	}
+}
+
+func TestDiffCatchesMakespanRegression(t *testing.T) {
+	oldR := baselineReport(t)
+	newR := baselineReport(t)
+	newR.MakespanSec = oldR.MakespanSec * 1.2 // above the 10% gate
+	d := analysis.Diff(oldR, newR, analysis.DefaultThresholds())
+	if d.OK() {
+		t.Fatal("20% makespan regression passed the gate")
+	}
+	found := false
+	for _, r := range d.Regressions {
+		if r.Metric == "makespan_sec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no makespan regression in %v", d.Regressions)
+	}
+	// Within threshold: clean.
+	newR.MakespanSec = oldR.MakespanSec * 1.05
+	if d := analysis.Diff(oldR, newR, analysis.DefaultThresholds()); !d.OK() {
+		t.Fatalf("5%% drift tripped the 10%% gate: %v", d.Regressions)
+	}
+}
+
+func TestDiffCatchesCategoryAndLatencyAndEfficiency(t *testing.T) {
+	th := analysis.DefaultThresholds()
+
+	oldR := baselineReport(t)
+	newR := baselineReport(t)
+	newR.CriticalPath.ByCategory = map[string]float64{
+		analysis.CatCompute: oldR.CriticalPath.ByCategory[analysis.CatCompute],
+		// send jumps from 3s to 6s: far beyond +25% and the 1% noise floor.
+		analysis.CatSend: 6,
+	}
+	d := analysis.Diff(oldR, newR, th)
+	if d.OK() {
+		t.Fatal("doubled send time on the critical path passed")
+	}
+
+	newR = baselineReport(t)
+	newR.Histograms["mp.msg.latency_sec"] = obs.HistogramSnapshot{Count: 100, P99: 3e-4 * 2}
+	if d := analysis.Diff(oldR, newR, th); d.OK() {
+		t.Fatal("doubled p99 latency passed")
+	}
+
+	newR = baselineReport(t)
+	newR.ParallelEfficiency = oldR.ParallelEfficiency - 0.10
+	if d := analysis.Diff(oldR, newR, th); d.OK() {
+		t.Fatal("10-point efficiency drop passed")
+	}
+}
+
+func TestDiffRefusesDifferentMachines(t *testing.T) {
+	oldR := baselineReport(t)
+	newR := baselineReport(t)
+	newR.Machine.Name = "other"
+	d := analysis.Diff(oldR, newR, analysis.DefaultThresholds())
+	if d.OK() {
+		t.Fatal("cross-machine diff passed")
+	}
+	newR = baselineReport(t)
+	newR.Ranks++
+	if d := analysis.Diff(oldR, newR, analysis.DefaultThresholds()); d.OK() {
+		t.Fatal("cross-rank-count diff passed")
+	}
+}
+
+func TestDiffNoiseFloorIgnoresTinyCategories(t *testing.T) {
+	oldR := baselineReport(t)
+	newR := baselineReport(t)
+	// A microscopic category growing 100x stays under the 1%-of-makespan
+	// noise floor and must not trip the gate.
+	oldR.CriticalPath.ByCategory["other"] = 1e-6
+	newR.CriticalPath.ByCategory["other"] = 1e-4
+	if d := analysis.Diff(oldR, newR, analysis.DefaultThresholds()); !d.OK() {
+		t.Fatalf("noise tripped the gate: %v", d.Regressions)
+	}
+}

@@ -25,7 +25,10 @@ import (
 )
 
 // MetricsSchemaVersion stamps the metrics snapshot JSON.
-const MetricsSchemaVersion = 1
+//
+//	1 — counters, gauges, per-rank breakdowns
+//	2 — adds histograms (message latency, collective sizes, list lengths)
+const MetricsSchemaVersion = 2
 
 // Counter is a monotonically accumulating int64 metric.
 type Counter struct{ v atomic.Int64 }
@@ -94,14 +97,19 @@ func (g *Gauge) Value() float64 {
 // Registry is a named set of counters and gauges. Lookup is get-or-create;
 // callers hold the returned pointer for hot paths.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns the named counter, creating it on first use. Safe on a
@@ -136,6 +144,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use. Safe on
+// a nil registry (returns a nil Histogram whose methods are no-ops).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot returns the current values of every metric, sorted by name via
 // the map key order of encoding/json (deterministic output).
 func (r *Registry) Snapshot() (counters map[string]int64, gauges map[string]float64) {
@@ -153,6 +177,23 @@ func (r *Registry) Snapshot() (counters map[string]int64, gauges map[string]floa
 		gauges[n] = g.Value()
 	}
 	return
+}
+
+// HistogramSnapshots summarizes every histogram with at least one
+// observation.
+func (r *Registry) HistogramSnapshots() map[string]HistogramSnapshot {
+	out := map[string]HistogramSnapshot{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, h := range r.histograms {
+		if h.Count() > 0 {
+			out[n] = h.Snapshot()
+		}
+	}
+	return out
 }
 
 // RankMetrics is the per-rank virtual-time breakdown of a run. The fields
@@ -184,7 +225,8 @@ type RankMetrics struct {
 // per-rank accumulators and trace tracks are reused by rank id.
 type Obs struct {
 	Reg    *Registry
-	Tracer *Tracer // nil when tracing is disabled
+	Tracer *Tracer   // nil when tracing is disabled
+	Events *EventLog // nil unless EnableEvents was called
 
 	mu    sync.Mutex
 	ranks []*RankObs
@@ -213,6 +255,9 @@ func (o *Obs) Rank(id int) *RankObs {
 		if o.Tracer != nil {
 			ro.Track = o.Tracer.Track(PidRanks, id, rankName(id))
 		}
+		if o.Events != nil {
+			ro.E = o.Events.rank(id)
+		}
 		o.ranks[id] = ro
 	}
 	return o.ranks[id]
@@ -234,10 +279,11 @@ func (o *Obs) RankMetrics() []RankMetrics {
 
 // MetricsSnapshot is the JSON shape of a metrics dump.
 type MetricsSnapshot struct {
-	SchemaVersion int                `json:"schema_version"`
-	Counters      map[string]int64   `json:"counters"`
-	Gauges        map[string]float64 `json:"gauges"`
-	Ranks         []RankMetrics      `json:"ranks"`
+	SchemaVersion int                          `json:"schema_version"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Ranks         []RankMetrics                `json:"ranks"`
 }
 
 // Snapshot captures the registry and per-rank breakdowns.
@@ -247,6 +293,7 @@ func (o *Obs) Snapshot() MetricsSnapshot {
 		SchemaVersion: MetricsSchemaVersion,
 		Counters:      c,
 		Gauges:        g,
+		Histograms:    o.Reg.HistogramSnapshots(),
 		Ranks:         o.RankMetrics(),
 	}
 }
@@ -292,19 +339,33 @@ func (o *Obs) WriteTraceFile(path string) error {
 }
 
 // RankObs is one rank's observation handle: metric accumulators owned by
-// the rank goroutine plus the rank's trace track (nil without a tracer).
+// the rank goroutine, the rank's trace track (nil without a tracer), and
+// its structured event buffer (nil without EnableEvents).
 type RankObs struct {
 	M     RankMetrics
 	Track *Track
+	E     *RankEvents
 }
 
-// Span records a complete virtual-time span on the rank's trace row; no-op
-// without a tracer. Purely observational: never touches the clock.
+// Observing reports whether spans are being consumed by anything (trace or
+// event log); callers may skip span bookkeeping entirely when false.
+func (ro *RankObs) Observing() bool {
+	return ro != nil && (ro.Track != nil || ro.E != nil)
+}
+
+// Span records a complete virtual-time span on the rank's trace row and in
+// the structured event log; no-op when neither is enabled. Purely
+// observational: never touches the clock.
 func (ro *RankObs) Span(cat, name string, t0, t1 float64) {
-	if ro == nil || ro.Track == nil {
+	if ro == nil {
 		return
 	}
-	ro.Track.Span(cat, name, t0, t1)
+	if ro.E != nil {
+		ro.E.Spans = append(ro.E.Spans, SpanEvent{Cat: cat, Name: name, T0: t0, T1: t1})
+	}
+	if ro.Track != nil {
+		ro.Track.Span(cat, name, t0, t1)
+	}
 }
 
 // Async records a virtual-time span that may overlap others on the rank's
