@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke ci all
 
 all: build test vet fmt-check
 
@@ -44,6 +44,18 @@ analyze-smoke:
 	$(GO) run ./cmd/tracecheck -analysis /tmp/spacesim-smoke-analysis.json
 	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-analysis.json /tmp/spacesim-smoke-analysis.json
 
+# Fault-injection smoke: a seeded fault-injected run that must crash at
+# least once, recover through checkpoint rollback bit-identically to an
+# uninterrupted twin, and emit a fault-annotated analysis report; then a
+# quick checkpoint-cadence sweep. Both artifacts are schema-validated.
+fault-smoke:
+	$(GO) run ./cmd/spacesim -n 600 -procs 4 -steps 6 \
+		-faults 11 -fault-accel 3000 -verify-recovery \
+		-report -analysis /tmp/spacesim-smoke-faults.json
+	$(GO) run ./cmd/ssbench faultsweep -quick -o /tmp/spacesim-smoke-faultsweep.json
+	$(GO) run ./cmd/tracecheck -analysis /tmp/spacesim-smoke-faults.json \
+		-faultsweep /tmp/spacesim-smoke-faultsweep.json
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
-# the observability + trace-analysis smoke runs.
-ci: fmt-check vet test race smoke analyze-smoke
+# the observability + trace-analysis + fault-injection smoke runs.
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke

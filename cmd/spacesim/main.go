@@ -6,9 +6,18 @@
 //
 //	spacesim [-n 4000] [-procs 16] [-steps 10] [-dt 0.005] [-theta 0.7]
 //	         [-ic plummer|coldsphere] [-karp] [-checkpoint dir]
+//	         [-faults seed] [-fault-accel 50] [-checkpoint-every 2]
+//	         [-verify-recovery]
 //	         [-trace trace.json] [-metrics metrics.json]
 //	         [-report] [-analysis ANALYSIS.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -faults, a seeded fault schedule (drawn from the paper's Section 2.1
+// hazard rates, accelerated by -fault-accel) is injected into the run:
+// rank crashes recover through checkpoint rollback (cadence
+// -checkpoint-every steps), and -verify-recovery additionally runs an
+// uninterrupted twin and fails unless the recovered state matches it bit
+// for bit.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"runtime/pprof"
 
 	"spacesim/internal/core"
+	"spacesim/internal/faults"
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs"
@@ -40,6 +50,10 @@ func main() {
 		karp    = flag.Bool("karp", false, "use the Karp reciprocal sqrt kernel")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		ckpt    = flag.String("checkpoint", "", "directory for a final striped checkpoint")
+		fSeed   = flag.Int64("faults", 0, "inject a seeded fault schedule (0 = off)")
+		fAccel  = flag.Float64("fault-accel", faults.DefaultAccel, "fault acceleration: component-months of hazard per virtual second")
+		ckEvery = flag.Int("checkpoint-every", 2, "recovery checkpoint cadence in steps (with -faults)")
+		verify  = flag.Bool("verify-recovery", false, "with -faults: require >=1 crash and bit-identical recovery vs an uninterrupted twin")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 		metrics = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
 		report  = flag.Bool("report", false, "retain structured telemetry and print the trace analysis")
@@ -84,18 +98,35 @@ func main() {
 		log.Fatalf("unknown initial condition %q", *ic)
 	}
 
-	o := obs.New(*trace != "")
-	if *report {
-		o.EnableEvents()
+	newObs := func() *obs.Obs {
+		o := obs.New(*trace != "")
+		if *report {
+			o.EnableEvents()
+		}
+		return o
 	}
+	o := newObs()
 	cl := machine.SpaceSimulator(netsim.ProfileLAM).WithObs(o)
-	res := core.Run(core.RunConfig{
+	cfg := core.RunConfig{
 		Cluster: cl, Procs: *procs, Steps: *steps,
 		Opt: core.Options{
 			Theta: *theta, Eps: *eps, DT: *dt, UseKarp: *karp,
 		},
-		GatherBodies: *ckpt != "",
-	}, ics)
+		GatherBodies: *ckpt != "" || *fSeed != 0,
+	}
+
+	var res core.Result
+	var faultRep *analysis.FaultSummary
+	if *fSeed != 0 {
+		res, faultRep = runWithFaults(cfg, ics, *fSeed, *fAccel, *ckEvery, *verify, newObs)
+		// Report from the completing segment's observation handle.
+		o = res.Comm.Obs
+	} else {
+		res = core.Run(cfg, ics)
+		if res.Err != nil {
+			log.Fatalf("run failed: %v", res.Err)
+		}
+	}
 
 	e0 := res.EnergyHistory[0]
 	eN := res.EnergyHistory[len(res.EnergyHistory)-1]
@@ -125,6 +156,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("report: %v", err)
 		}
+		rep.Faults = faultRep
 		fmt.Println()
 		fmt.Print(rep.Render())
 		if *aOut != "" {
@@ -147,6 +179,96 @@ func main() {
 		}
 		fmt.Printf("  trace: %s (chrome://tracing or https://ui.perfetto.dev)\n", *trace)
 	}
+}
+
+// runWithFaults executes the fault-injected path: an uninterrupted probe
+// run measures the virtual horizon (and, with verify, the reference state),
+// then a schedule drawn from the paper's hazard rates is injected and the
+// run recovers through checkpoint rollback.
+func runWithFaults(cfg core.RunConfig, ics []core.Body, seed int64, accel float64, every int, verify bool, newObs func() *obs.Obs) (core.Result, *analysis.FaultSummary) {
+	probeCfg := cfg
+	probeCfg.Cluster.Obs = obs.New(false)
+	base := core.Run(probeCfg, ics)
+	if base.Err != nil {
+		log.Fatalf("faults: fault-free probe failed: %v", base.Err)
+	}
+
+	sched := faults.New(faults.Options{
+		Ranks: cfg.Procs, Horizon: base.ElapsedVirtual, Seed: seed, Accel: accel,
+	})
+	fmt.Printf("fault schedule: seed %d, accel %g, horizon %.3fs — %d crash, %d degrade, %d flap, %d disk\n",
+		seed, accel, base.ElapsedVirtual,
+		sched.Count(faults.RankCrash), sched.Count(faults.LinkDegrade),
+		sched.Count(faults.PortFlap), sched.Count(faults.DiskCorrupt))
+	for _, f := range sched.Faults {
+		fmt.Printf("  %s\n", f)
+	}
+
+	dir, err := os.MkdirTemp("", "spacesim-ck-")
+	if err != nil {
+		log.Fatalf("faults: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	cfg.Checkpoint = &core.CheckpointConfig{Dir: dir, Every: every}
+	res, st, err := core.RunRecovered(core.RecoveryConfig{
+		RunConfig: cfg,
+		Injector:  faults.NewInjector(sched),
+		NewObs:    func(int) *obs.Obs { return newObs() },
+	}, ics)
+	if err != nil {
+		log.Fatalf("faults: recovery failed: %v", err)
+	}
+
+	fs := &analysis.FaultSummary{
+		Attempts:         st.Attempts,
+		Crashes:          st.Crashes,
+		CrashRanks:       st.CrashRanks,
+		CrashTimesSec:    st.CrashTimes,
+		RestoredSteps:    st.RestoredSteps,
+		ReplayedSteps:    st.ReplayedSteps,
+		LostVirtualSec:   st.LostVirtualSec,
+		TotalVirtualSec:  st.TotalVirtualSec,
+		DegradedLinkSec:  st.DegradedLinkSec,
+		FlappingPortSec:  st.FlappingPortSec,
+		CheckpointWrites: st.CheckpointWrites,
+		CheckpointSec:    st.CheckpointSec,
+		CorruptStripes:   st.CorruptStripes,
+	}
+	fmt.Printf("recovery: %d crash(es), %d attempt(s), rollbacks %v, %d steps replayed, %.3fs virtual lost\n",
+		st.Crashes, st.Attempts, st.RestoredSteps, st.ReplayedSteps, st.LostVirtualSec)
+
+	if verify {
+		if st.Crashes == 0 {
+			log.Fatalf("verify-recovery: no crash fired within the %.3fs horizon — raise -fault-accel or change -faults seed", base.ElapsedVirtual)
+		}
+		ok := bitIdentical(base, res)
+		fs.RecoveredBitIdentical = &ok
+		if !ok {
+			log.Fatal("verify-recovery: recovered state differs from the uninterrupted twin")
+		}
+		fmt.Println("verify-recovery: recovered state bit-identical to the uninterrupted twin")
+	}
+	return res, fs
+}
+
+// bitIdentical compares the gathered bodies and energy histories of two
+// runs exactly.
+func bitIdentical(a, b core.Result) bool {
+	if len(a.Bodies) != len(b.Bodies) || len(a.EnergyHistory) != len(b.EnergyHistory) {
+		return false
+	}
+	for i := range a.Bodies {
+		x, y := a.Bodies[i], b.Bodies[i]
+		if x.ID != y.ID || x.Pos != y.Pos || x.Vel != y.Vel || x.Mass != y.Mass {
+			return false
+		}
+	}
+	for i := range a.EnergyHistory {
+		if a.EnergyHistory[i] != b.EnergyHistory[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func abs(x float64) float64 {

@@ -62,6 +62,11 @@ func main() {
 		diffCmd(args[1:])
 		return
 	}
+	// faultsweep likewise owns its flags (seed, accel, output path).
+	if args[0] == "faultsweep" {
+		faultsweepCmd(args[1:])
+		return
+	}
 	// Flags are accepted after the experiment name too:
 	// ssbench group --trace=t.json --metrics=m.json
 	if len(args) > 1 {
@@ -117,7 +122,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|analyze|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|analyze|diff|faultsweep|switch|spec|reliability|moore|all>")
 	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json")
 }
 

@@ -1,9 +1,10 @@
 // Command tracecheck validates the observability artifacts the simulator
 // emits: a Chrome trace_event JSON file (-trace), a metrics snapshot JSON
-// file (-metrics), a trace-analysis report (-analysis), and/or a treecode
-// benchmark record (-bench). It exits nonzero with a diagnostic when a
-// file does not satisfy the expected schema, and prints a one-line summary
-// when it does. Used by `make ci` to smoke-test the observability pipeline.
+// file (-metrics), a trace-analysis report (-analysis), a treecode
+// benchmark record (-bench), and/or a checkpoint-cadence sweep
+// (-faultsweep). It exits nonzero with a diagnostic when a file does not
+// satisfy the expected schema, and prints a one-line summary when it does.
+// Used by `make ci` to smoke-test the observability pipeline.
 package main
 
 import (
@@ -22,9 +23,10 @@ func main() {
 	metrics := flag.String("metrics", "", "metrics snapshot JSON file to validate")
 	analysisPath := flag.String("analysis", "", "trace-analysis report (ANALYSIS.json) to validate")
 	bench := flag.String("bench", "", "treecode benchmark record (BENCH_treecode.json) to validate")
+	sweep := flag.String("faultsweep", "", "checkpoint-cadence sweep (FAULTSWEEP.json) to validate")
 	flag.Parse()
-	if *trace == "" && *metrics == "" && *analysisPath == "" && *bench == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE] [-analysis FILE] [-bench FILE]")
+	if *trace == "" && *metrics == "" && *analysisPath == "" && *bench == "" && *sweep == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE] [-analysis FILE] [-bench FILE] [-faultsweep FILE]")
 		os.Exit(2)
 	}
 	ok := true
@@ -39,6 +41,9 @@ func main() {
 	}
 	if *bench != "" {
 		ok = checkBench(*bench) && ok
+	}
+	if *sweep != "" {
+		ok = checkFaultsweep(*sweep) && ok
 	}
 	if !ok {
 		os.Exit(1)
@@ -216,8 +221,130 @@ func checkAnalysis(path string) bool {
 			return fail(path, "link %s: busy fraction %g", l.Name, l.BusyFraction)
 		}
 	}
-	fmt.Printf("tracecheck: %s ok: schema v%d, %d ranks, makespan %.6gs, %d path segments, %d phases, %d links\n",
-		path, rep.SchemaVersion, rep.Ranks, rep.MakespanSec, len(cp.Segments), len(rep.Phases), len(rep.Links))
+	if fr := rep.Faults; fr != nil {
+		if fr.Attempts < 1 {
+			return fail(path, "faults: attempts %d < 1", fr.Attempts)
+		}
+		if fr.Crashes != len(fr.CrashRanks) || fr.Crashes != len(fr.CrashTimesSec) {
+			return fail(path, "faults: %d crashes but %d ranks, %d times",
+				fr.Crashes, len(fr.CrashRanks), len(fr.CrashTimesSec))
+		}
+		if fr.Attempts != fr.Crashes+1 {
+			return fail(path, "faults: %d attempts inconsistent with %d crashes", fr.Attempts, fr.Crashes)
+		}
+		if len(fr.RestoredSteps) > fr.Crashes {
+			return fail(path, "faults: %d rollbacks exceed %d crashes", len(fr.RestoredSteps), fr.Crashes)
+		}
+		for i, t := range fr.CrashTimesSec {
+			if t < 0 {
+				return fail(path, "faults: crash %d at negative time %g", i, t)
+			}
+		}
+		if fr.ReplayedSteps < 0 || fr.LostVirtualSec < 0 || fr.TotalVirtualSec < 0 ||
+			fr.DegradedLinkSec < 0 || fr.FlappingPortSec < 0 ||
+			fr.CheckpointWrites < 0 || fr.CheckpointSec < 0 || fr.CorruptStripes < 0 {
+			return fail(path, "faults: negative recovery metric: %+v", fr)
+		}
+		if fr.RecoveredBitIdentical != nil && !*fr.RecoveredBitIdentical {
+			return fail(path, "faults: recovery verification recorded a divergent state")
+		}
+	}
+	faultsNote := ""
+	if rep.Faults != nil {
+		faultsNote = fmt.Sprintf(", %d crash(es) recovered", rep.Faults.Crashes)
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, %d ranks, makespan %.6gs, %d path segments, %d phases, %d links%s\n",
+		path, rep.SchemaVersion, rep.Ranks, rep.MakespanSec, len(cp.Segments), len(rep.Phases), len(rep.Links), faultsNote)
+	return true
+}
+
+// checkFaultsweep validates FAULTSWEEP.json: the checkpoint-cadence sweep
+// must describe its workload, carry at least one cadence entry with sane
+// nonnegative cost metrics, and every entry must have recovered to a state
+// bit-identical with the fault-free run.
+func checkFaultsweep(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(path, "%v", err)
+	}
+	var rep struct {
+		SchemaVersion      int     `json:"schema_version"`
+		Ranks              int     `json:"ranks"`
+		Bodies             int     `json:"bodies"`
+		Steps              int     `json:"steps"`
+		BaselineVirtualSec float64 `json:"baseline_virtual_sec"`
+		ExpectedCrashes    float64 `json:"expected_crashes"`
+		ScheduledCrashes   int     `json:"scheduled_crashes"`
+		Entries            []struct {
+			IntervalSteps    int     `json:"interval_steps"`
+			IOOverheadSec    float64 `json:"io_overhead_sec"`
+			Crashes          int     `json:"crashes"`
+			Attempts         int     `json:"attempts"`
+			RestoredSteps    []int   `json:"restored_steps"`
+			ReplayedSteps    int     `json:"replayed_steps"`
+			LostVirtualSec   float64 `json:"lost_virtual_sec"`
+			TotalVirtualSec  float64 `json:"total_virtual_sec"`
+			CheckpointWrites int     `json:"checkpoint_writes"`
+			CorruptStripes   int     `json:"corrupt_stripes"`
+			BitIdentical     bool    `json:"bit_identical"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fail(path, "not valid faultsweep JSON: %v", err)
+	}
+	if rep.SchemaVersion < 1 {
+		return fail(path, "schema_version %d < 1", rep.SchemaVersion)
+	}
+	if rep.Ranks <= 0 || rep.Bodies <= 0 || rep.Steps <= 0 {
+		return fail(path, "missing workload description (ranks=%d, bodies=%d, steps=%d)",
+			rep.Ranks, rep.Bodies, rep.Steps)
+	}
+	if rep.BaselineVirtualSec <= 0 {
+		return fail(path, "baseline_virtual_sec %g, want > 0", rep.BaselineVirtualSec)
+	}
+	if rep.ExpectedCrashes < 0 || rep.ScheduledCrashes < 0 {
+		return fail(path, "negative crash counts (expected %g, scheduled %d)",
+			rep.ExpectedCrashes, rep.ScheduledCrashes)
+	}
+	if len(rep.Entries) == 0 {
+		return fail(path, "no sweep entries")
+	}
+	for i, e := range rep.Entries {
+		if e.IntervalSteps <= 0 {
+			return fail(path, "entry %d: interval_steps %d, want > 0", i, e.IntervalSteps)
+		}
+		if e.Attempts < 1 || e.Attempts != e.Crashes+1 {
+			return fail(path, "entry %d (K=%d): %d attempts inconsistent with %d crashes",
+				i, e.IntervalSteps, e.Attempts, e.Crashes)
+		}
+		if e.Crashes != rep.ScheduledCrashes {
+			return fail(path, "entry %d (K=%d): %d crashes fired, schedule holds %d",
+				i, e.IntervalSteps, e.Crashes, rep.ScheduledCrashes)
+		}
+		if len(e.RestoredSteps) > e.Crashes {
+			return fail(path, "entry %d (K=%d): %d rollbacks exceed %d crashes",
+				i, e.IntervalSteps, len(e.RestoredSteps), e.Crashes)
+		}
+		for _, s := range e.RestoredSteps {
+			if s < 0 || s >= rep.Steps {
+				return fail(path, "entry %d (K=%d): rollback step %d outside [0, %d)",
+					i, e.IntervalSteps, s, rep.Steps)
+			}
+		}
+		if e.IOOverheadSec < 0 || e.ReplayedSteps < 0 || e.LostVirtualSec < 0 ||
+			e.TotalVirtualSec < 0 || e.CheckpointWrites < 0 || e.CorruptStripes < 0 {
+			return fail(path, "entry %d (K=%d): negative cost metric: %+v", i, e.IntervalSteps, e)
+		}
+		if e.TotalVirtualSec < rep.BaselineVirtualSec*(1-1e-9) {
+			return fail(path, "entry %d (K=%d): total virtual %g below the fault-free baseline %g",
+				i, e.IntervalSteps, e.TotalVirtualSec, rep.BaselineVirtualSec)
+		}
+		if !e.BitIdentical {
+			return fail(path, "entry %d (K=%d): recovery diverged from the fault-free run", i, e.IntervalSteps)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, %d ranks, %d cadences, %d scheduled crash(es), all bit-identical\n",
+		path, rep.SchemaVersion, rep.Ranks, len(rep.Entries), rep.ScheduledCrashes)
 	return true
 }
 

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spacesim/internal/mp"
+	"spacesim/internal/pario"
+	"spacesim/internal/vec"
+)
+
+// CheckpointConfig enables checkpoint–restart for a run: every Every steps
+// each rank writes its local state (bodies + accelerations) as a pario
+// stripe under Dir. The stripes are everything RunRecovered needs to roll a
+// crashed run back to the last completed checkpoint and replay it
+// bit-identically.
+type CheckpointConfig struct {
+	// Dir receives the stripe files (ck-<step>.<rank>).
+	Dir string
+	// Every is the checkpoint cadence in steps (disabled when <= 0). The
+	// final step is never checkpointed — the run is already over.
+	Every int
+	// Corrupt, when non-nil, is consulted after each stripe write; a true
+	// return flips a payload byte on disk, simulating a dying drive. Used
+	// by the fault injector; leave nil for healthy disks.
+	Corrupt func(rank, step int) bool
+}
+
+// ckFloatsPerBody is the serialized width of one body in a checkpoint
+// stripe: position (3), velocity (3), acceleration (3), mass, decomposition
+// work weight, and the ID bits.
+const ckFloatsPerBody = 12
+
+// encodeState serializes a rank's post-step state. The acceleration rides
+// along because the leapfrog's opening half-kick of the next step reuses it;
+// storing it (rather than re-evaluating on restore) is what makes recovery
+// bit-identical.
+func encodeState(local []Body, acc []vec.V3) []float64 {
+	out := make([]float64, 0, len(local)*ckFloatsPerBody)
+	for i := range local {
+		b := &local[i]
+		out = append(out,
+			b.Pos[0], b.Pos[1], b.Pos[2],
+			b.Vel[0], b.Vel[1], b.Vel[2],
+			acc[i][0], acc[i][1], acc[i][2],
+			b.Mass, b.Work,
+			math.Float64frombits(uint64(b.ID)),
+		)
+	}
+	return out
+}
+
+// decodeState is the inverse of encodeState. Morton keys are not stored:
+// Decompose recomputes them from positions before they are read.
+func decodeState(data []float64) ([]Body, []vec.V3, error) {
+	if len(data)%ckFloatsPerBody != 0 {
+		return nil, nil, fmt.Errorf("checkpoint payload of %d floats is not a whole number of bodies", len(data))
+	}
+	n := len(data) / ckFloatsPerBody
+	local := make([]Body, n)
+	acc := make([]vec.V3, n)
+	for i := 0; i < n; i++ {
+		f := data[i*ckFloatsPerBody:]
+		local[i] = Body{
+			Pos:  vec.V3{f[0], f[1], f[2]},
+			Vel:  vec.V3{f[3], f[4], f[5]},
+			Mass: f[9],
+			Work: f[10],
+			ID:   int64(math.Float64bits(f[11])),
+		}
+		acc[i] = vec.V3{f[6], f[7], f[8]}
+	}
+	return local, acc, nil
+}
+
+// ckName returns the stripe base name for a checkpoint at the given step;
+// pario appends the rank suffix.
+func ckName(step int) string { return fmt.Sprintf("ck-%06d", step) }
+
+// ckPath returns the full stripe path for one rank's checkpoint.
+func ckPath(dir string, step, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%04d", ckName(step), rank))
+}
+
+// writeCheckpoint writes one rank's stripe for the checkpoint at step,
+// charging the virtual disk time, and applies any injected corruption.
+func writeCheckpoint(r *mp.Rank, cp *CheckpointConfig, step int, local []Body, acc []vec.V3) {
+	data := encodeState(local, acc)
+	path, err := pario.WriteStripe(cp.Dir, ckName(step), r.ID(), data)
+	if err != nil {
+		panic(fmt.Sprintf("core: checkpoint write failed: %v", err))
+	}
+	r.ChargeDisk(float64(len(data) * 8))
+	if cp.Corrupt != nil && cp.Corrupt(r.ID(), step) {
+		corruptStripe(path)
+	}
+}
+
+// corruptStripe flips one payload byte in a written stripe — the injected
+// disk fault. On an empty payload it flips the checksum instead; either way
+// the CRC no longer matches.
+func corruptStripe(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		panic(fmt.Sprintf("core: corrupting stripe: %v", err))
+	}
+	off := 3 * 8 // first payload byte
+	if off >= len(raw) {
+		off = len(raw) - 1
+	}
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		panic(fmt.Sprintf("core: corrupting stripe: %v", err))
+	}
+}
+
+// FindCheckpoints scans a checkpoint directory and returns the steps for
+// which at least one stripe exists, ascending. Completeness and integrity
+// are not checked here — loadCheckpoint does that per candidate.
+func FindCheckpoints(dir string) []int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ck-") {
+			continue
+		}
+		dot := strings.IndexByte(name, '.')
+		if dot < 0 {
+			continue
+		}
+		step, err := strconv.Atoi(name[3:dot])
+		if err != nil {
+			continue
+		}
+		seen[step] = true
+	}
+	steps := make([]int, 0, len(seen))
+	for s := range seen {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// loadCheckpoint reads and verifies every rank's stripe for one checkpoint.
+// A missing or corrupt stripe fails the whole checkpoint (wrapped
+// pario.ErrCorrupt where applicable) so the caller can fall back to an
+// older one; pario.ErrWrongRank is passed through — a misrouted stripe is a
+// bug, not a disk fault.
+func loadCheckpoint(dir string, step, nprocs int) ([][]float64, error) {
+	restore := make([][]float64, nprocs)
+	for rank := 0; rank < nprocs; rank++ {
+		data, err := pario.ReadStripe(ckPath(dir, step, rank), rank)
+		if err != nil {
+			return nil, err
+		}
+		restore[rank] = data
+	}
+	return restore, nil
+}
+
+// lastGoodCheckpoint walks the on-disk checkpoints newest-first and returns
+// the first one whose stripes all verify, together with how many corrupt
+// stripe sets were skipped on the way. ok=false means recovery must restart
+// from the initial conditions. A rank-mismatched stripe aborts with an
+// error: that is never disk damage.
+func lastGoodCheckpoint(dir string, nprocs int) (step int, restore [][]float64, corrupt int, ok bool, err error) {
+	steps := FindCheckpoints(dir)
+	for i := len(steps) - 1; i >= 0; i-- {
+		data, lerr := loadCheckpoint(dir, steps[i], nprocs)
+		if lerr == nil {
+			return steps[i], data, corrupt, true, nil
+		}
+		if errors.Is(lerr, pario.ErrWrongRank) {
+			return 0, nil, corrupt, false, lerr
+		}
+		if errors.Is(lerr, pario.ErrCorrupt) {
+			corrupt++
+		}
+		// Missing stripes (a checkpoint interrupted by the crash) are
+		// skipped silently: that checkpoint never completed.
+	}
+	return 0, nil, corrupt, false, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spacesim/internal/faults"
+	"spacesim/internal/vec"
+)
+
+// recoveryBaseCfg is the shared small run used by the recovery tests: big
+// enough that a mid-run crash lands between checkpoints, small enough to
+// keep replay cheap.
+func recoveryBaseCfg(dir string) RunConfig {
+	return RunConfig{
+		Cluster:      testCluster(),
+		Procs:        4,
+		Steps:        6,
+		Opt:          Options{DT: 0.01},
+		GatherBodies: true,
+		Checkpoint:   &CheckpointConfig{Dir: dir, Every: 2},
+	}
+}
+
+// assertBitIdentical compares a recovered run against the uninterrupted
+// baseline: gathered bodies and the whole energy history must match bit for
+// bit — recovery must be invisible to the physics.
+func assertBitIdentical(t *testing.T, base, rec Result) {
+	t.Helper()
+	if len(rec.Bodies) != len(base.Bodies) {
+		t.Fatalf("recovered %d bodies, baseline %d", len(rec.Bodies), len(base.Bodies))
+	}
+	for i := range base.Bodies {
+		b, r := base.Bodies[i], rec.Bodies[i]
+		if b.ID != r.ID || b.Pos != r.Pos || b.Vel != r.Vel || b.Mass != r.Mass {
+			t.Fatalf("body %d diverged:\n base %+v\n  rec %+v", i, b, r)
+		}
+	}
+	for s := range base.EnergyHistory {
+		b, r := base.EnergyHistory[s], rec.EnergyHistory[s]
+		if b != r {
+			t.Fatalf("energies at step %d diverged:\n base %+v\n  rec %+v", s, b, r)
+		}
+	}
+}
+
+// TestRecoveryBitIdentical pins the headline acceptance: a run that loses a
+// rank mid-flight and rolls back to its last checkpoint finishes with
+// accelerations, positions, and energies bit-identical to a run that never
+// crashed.
+func TestRecoveryBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ics := PlummerSphere(rng, 160, 1.0)
+
+	base := Run(recoveryBaseCfg(t.TempDir()), ics)
+	if base.Err != nil {
+		t.Fatalf("baseline failed: %v", base.Err)
+	}
+
+	// Crash rank 2 at ~60% of the measured no-fault runtime: past the first
+	// checkpoints, well before the end.
+	crashAt := 0.6 * base.ElapsedVirtual
+	cfg := RecoveryConfig{
+		RunConfig: recoveryBaseCfg(t.TempDir()),
+		Injector: faults.Manual(4, 2*base.ElapsedVirtual,
+			faults.Fault{Kind: faults.RankCrash, Rank: 2, Start: crashAt, Cause: "power supply"},
+		),
+	}
+	rec, st, err := RunRecovered(cfg, ics)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (stats %+v)", err, st)
+	}
+	if st.Crashes != 1 {
+		t.Fatalf("expected exactly one crash to fire, got %d (attempts %d)", st.Crashes, st.Attempts)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("expected 2 segments, got %d", st.Attempts)
+	}
+	if st.CrashRanks[0] != 2 {
+		t.Fatalf("crashed rank %d, want 2", st.CrashRanks[0])
+	}
+	if math.Abs(st.CrashTimes[0]-crashAt) > 1e-9 {
+		t.Fatalf("crash recorded at %g, scheduled %g", st.CrashTimes[0], crashAt)
+	}
+	if len(st.RestoredSteps) != 1 || st.RestoredSteps[0] == 0 {
+		t.Fatalf("expected rollback to a real checkpoint, got %v", st.RestoredSteps)
+	}
+	if st.TotalVirtualSec <= base.ElapsedVirtual {
+		t.Fatalf("replay should cost extra virtual time: total %g vs baseline %g",
+			st.TotalVirtualSec, base.ElapsedVirtual)
+	}
+	assertBitIdentical(t, base, rec)
+}
+
+// TestRecoveryCorruptStripeFallsBack injects a disk fault alongside the
+// crash: the newest checkpoint has a corrupt stripe, so recovery must fall
+// back (to an older checkpoint or the initial conditions) and still finish
+// bit-identical.
+func TestRecoveryCorruptStripeFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ics := PlummerSphere(rng, 160, 1.0)
+
+	base := Run(recoveryBaseCfg(t.TempDir()), ics)
+	if base.Err != nil {
+		t.Fatalf("baseline failed: %v", base.Err)
+	}
+
+	// The disk fault corrupts rank 1's first checkpoint write (step 2); the
+	// crash fires after it, so the scan must reject ck-2 and restart from
+	// the initial conditions (ck-2 is the first checkpoint, nothing older).
+	cfg := RecoveryConfig{
+		RunConfig: recoveryBaseCfg(t.TempDir()),
+		Injector: faults.Manual(4, 2*base.ElapsedVirtual,
+			faults.Fault{Kind: faults.DiskCorrupt, Rank: 1, Start: 0, Cause: "disk drive"},
+			faults.Fault{Kind: faults.RankCrash, Rank: 3, Start: 0.8 * base.ElapsedVirtual, Cause: "DRAM stick"},
+		),
+	}
+	cfg.Checkpoint.Every = 3 // single checkpoint at step 3 of 6
+	rec, st, err := RunRecovered(cfg, ics)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (stats %+v)", err, st)
+	}
+	if st.Crashes != 1 {
+		t.Fatalf("expected one crash, got %d", st.Crashes)
+	}
+	if st.CorruptStripes == 0 {
+		t.Fatal("corrupt checkpoint was never detected")
+	}
+	if len(st.RestoredSteps) != 1 || st.RestoredSteps[0] != 0 {
+		t.Fatalf("expected fallback to initial conditions, got %v", st.RestoredSteps)
+	}
+	assertBitIdentical(t, base, rec)
+}
+
+// TestRecoveryNoFaults: the recovery driver on a clean schedule is exactly
+// one segment and matches a plain Run.
+func TestRecoveryNoFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ics := PlummerSphere(rng, 120, 1.0)
+
+	base := Run(recoveryBaseCfg(t.TempDir()), ics)
+	rec, st, err := RunRecovered(RecoveryConfig{
+		RunConfig: recoveryBaseCfg(t.TempDir()),
+		Injector:  faults.Manual(4, 100),
+	}, ics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts != 1 || st.Crashes != 0 {
+		t.Fatalf("clean schedule took %d attempts, %d crashes", st.Attempts, st.Crashes)
+	}
+	assertBitIdentical(t, base, rec)
+}
+
+// TestCheckpointRoundTrip pins the state serialization: encode → decode is
+// the identity on every field recovery depends on.
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bodies := PlummerSphere(rng, 50, 1.0)
+	acc := make([]vec.V3, len(bodies))
+	for i := range acc {
+		acc[i] = vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	for i := range bodies {
+		bodies[i].Work = rng.Float64() * 100
+		bodies[i].ID = int64(i) - 25 // include negatives
+	}
+	got, gotAcc, err := decodeState(encodeState(bodies, acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bodies {
+		if got[i].Pos != bodies[i].Pos || got[i].Vel != bodies[i].Vel ||
+			got[i].Mass != bodies[i].Mass || got[i].Work != bodies[i].Work ||
+			got[i].ID != bodies[i].ID {
+			t.Fatalf("body %d: %+v != %+v", i, got[i], bodies[i])
+		}
+		if gotAcc[i] != acc[i] {
+			t.Fatalf("acc %d: %v != %v", i, gotAcc[i], acc[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"spacesim/internal/machine"
@@ -33,6 +34,19 @@ type Result struct {
 	Bodies []Body
 	// Comm are the message-layer statistics.
 	Comm mp.Stats
+	// Err is non-nil when the run aborted (injected crash, deadlock)
+	// instead of completing; see mp.Stats.Err for the error taxonomy.
+	Err error
+	// CompletedSteps counts the steps rank 0 finished — equal to Steps on
+	// a clean run, the crash-time progress on an aborted one.
+	CompletedSteps int
+	// CheckpointWrites counts completed checkpoints (each is one stripe
+	// per rank); CheckpointClocks maps a checkpointed step to rank 0's
+	// virtual clock just after writing it; CheckpointSec is rank 0's
+	// virtual disk time spent on checkpoint writes.
+	CheckpointWrites int
+	CheckpointClocks map[int]float64
+	CheckpointSec    float64
 }
 
 // RunConfig couples the cluster model and run controls.
@@ -43,6 +57,19 @@ type RunConfig struct {
 	Opt     Options
 	// GatherBodies returns the final particle state in Result.Bodies.
 	GatherBodies bool
+	// Faults schedules rank crashes in virtual time (nil injects nothing);
+	// link/port degradation rides on Cluster.Net health.
+	Faults *mp.FaultPlan
+	// Checkpoint enables periodic state stripes for crash recovery.
+	Checkpoint *CheckpointConfig
+}
+
+// segment describes where a run (re)starts: from the initial conditions
+// (zero value), or from a restored checkpoint at startStep with each rank's
+// verified stripe payload in restore.
+type segment struct {
+	startStep int
+	restore   [][]float64
 }
 
 // Run executes a parallel N-body simulation of the given bodies. The input
@@ -50,6 +77,12 @@ type RunConfig struct {
 // block-wise, rebalanced by the weighted decomposition every step, and
 // integrated with kick-drift-kick leapfrog.
 func Run(cfg RunConfig, ics []Body) Result {
+	return run(cfg, ics, segment{})
+}
+
+// run is Run with an explicit start segment — the restart driver re-enters
+// here after rolling back to a checkpoint.
+func run(cfg RunConfig, ics []Body, seg segment) Result {
 	opt := cfg.Opt.withDefaults()
 	res := Result{Steps: cfg.Steps}
 	energyAt := make([]Energies, cfg.Steps+1)
@@ -57,12 +90,17 @@ func Run(cfg RunConfig, ics []Body) Result {
 	var totalFlops float64
 	var imbHist []float64
 	var gathered []Body
+	completed := seg.startStep
+	ckWrites := 0
+	ckSec := 0.0
+	ckClocks := map[int]float64{}
+	cp := cfg.Checkpoint
+	if cp != nil && cp.Every <= 0 {
+		cp = nil
+	}
 
-	st := mp.Run(cfg.Cluster, cfg.Procs, func(r *mp.Rank) {
-		// Block scatter of the initial conditions.
-		n, p := len(ics), r.Size()
-		lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
-		local := append([]Body(nil), ics[lo:hi]...)
+	st := mp.RunWith(cfg.Cluster, cfg.Procs, mp.RunOptions{Plan: cfg.Faults}, func(r *mp.Rank) {
+		var local []Body
 
 		eval := func() ([]Body, []vec.V3, []float64, TraversalStats) {
 			endDecomp := r.Span("phase", "decompose")
@@ -82,13 +120,32 @@ func Run(cfg RunConfig, ics []Body) Result {
 		var acc []vec.V3
 		var pot []float64
 		var ts TraversalStats
-		local, acc, pot, ts = eval()
-		recordStats(r, ts, &totalInts, &totalFlops, &totalFetches, &imbHist)
-		if e := diagnostics(r, local, pot); r.ID() == 0 {
-			energyAt[0] = e
+		if seg.restore != nil {
+			// Resume: the restored stripe carries this rank's exact bodies
+			// (with decomposition weights) and accelerations, so the
+			// initial evaluation is skipped and the next step's opening
+			// half-kick reuses the stored forces bit for bit. The restored
+			// step's diagnostics were already recorded by the segment that
+			// wrote the checkpoint.
+			var err error
+			local, acc, err = decodeState(seg.restore[r.ID()])
+			if err != nil {
+				panic(fmt.Sprintf("core: rank %d restore: %v", r.ID(), err))
+			}
+			r.ChargeDisk(float64(len(seg.restore[r.ID()]) * 8))
+		} else {
+			// Block scatter of the initial conditions.
+			n, p := len(ics), r.Size()
+			lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
+			local = append([]Body(nil), ics[lo:hi]...)
+			local, acc, pot, ts = eval()
+			recordStats(r, ts, &totalInts, &totalFlops, &totalFetches, &imbHist)
+			if e := diagnostics(r, local, pot); r.ID() == 0 {
+				energyAt[0] = e
+			}
 		}
 
-		for s := 0; s < cfg.Steps; s++ {
+		for s := seg.startStep; s < cfg.Steps; s++ {
 			endStep := r.Span("phase", "step")
 			// kick half, drift
 			for i := range local {
@@ -106,6 +163,18 @@ func Run(cfg RunConfig, ics []Body) Result {
 				energyAt[s+1] = e
 			}
 			endStep()
+			if r.ID() == 0 {
+				completed = s + 1
+			}
+			if cp != nil && (s+1)%cp.Every == 0 && s+1 < cfg.Steps {
+				t0 := r.Clock()
+				writeCheckpoint(r, cp, s+1, local, acc)
+				if r.ID() == 0 {
+					ckWrites++
+					ckClocks[s+1] = r.Clock()
+					ckSec += r.Clock() - t0
+				}
+			}
 		}
 
 		if cfg.GatherBodies {
@@ -133,6 +202,11 @@ func Run(cfg RunConfig, ics []Body) Result {
 	}
 	res.Bodies = gathered
 	res.Comm = st
+	res.Err = st.Err
+	res.CompletedSteps = completed
+	res.CheckpointWrites = ckWrites
+	res.CheckpointClocks = ckClocks
+	res.CheckpointSec = ckSec
 	res.ElapsedVirtual = st.ElapsedVirtual
 	if st.ElapsedVirtual > 0 {
 		res.Gflops = totalFlops / st.ElapsedVirtual / 1e9

@@ -19,8 +19,10 @@ package mp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
@@ -58,11 +60,16 @@ type message struct {
 	arrive   float64
 }
 
-// inbox is a rank's pending-message queue with MPI-style matching.
+// inbox is a rank's pending-message queue with MPI-style matching. seq
+// counts puts (read lock-free by the shutdown watchdog's quiescence check);
+// fireTimeout is set by the watchdog to wake the owner's RecvTimeout once
+// the world is provably idle.
 type inbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []message
+	mu          sync.Mutex
+	cond        *sync.Cond
+	q           []message
+	seq         atomic.Uint64
+	fireTimeout bool
 }
 
 func newInbox() *inbox {
@@ -74,24 +81,9 @@ func newInbox() *inbox {
 func (ib *inbox) put(m message) {
 	ib.mu.Lock()
 	ib.q = append(ib.q, m)
+	ib.seq.Add(1)
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
-}
-
-// take removes and returns the first message matching (src, tag),
-// blocking until one arrives.
-func (ib *inbox) take(src, tag int) message {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	for {
-		for i, m := range ib.q {
-			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
-				ib.q = append(ib.q[:i], ib.q[i+1:]...)
-				return m
-			}
-		}
-		ib.cond.Wait()
-	}
 }
 
 // tryTake is take without blocking; ok reports whether a match existed.
@@ -113,6 +105,23 @@ type World struct {
 	cluster machine.Cluster
 	boxes   []*inbox
 
+	// plan schedules fault injection (nil for a healthy run).
+	plan *FaultPlan
+
+	// aborted flips once when the world dies (crash or watchdog); every
+	// operation checks it so all ranks unwind promptly. abortErr records
+	// the first cause.
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortErr error
+
+	// Shutdown-watchdog state: the count of ranks still running fn and the
+	// registry of ranks blocked in takeBlocking. wdMu is a leaf lock (it
+	// nests under at most one inbox mutex, never the reverse).
+	wdMu    sync.Mutex
+	active  int
+	waiters map[int]waiter
+
 	statsMu    sync.Mutex
 	totalMsgs  int64
 	totalBytes int64
@@ -127,6 +136,7 @@ type World struct {
 	moduleRx      []*obs.Counter
 	trunkBytes    *obs.Counter
 	congestedMsgs *obs.Counter
+	cCrashes      *obs.Counter
 	netTracks     []*obs.Track // per switch module; nil without a tracer
 	hMsgLatency   *obs.Histogram
 	hMsgBytes     *obs.Histogram
@@ -160,19 +170,42 @@ type Stats struct {
 	// private one created by Run. Its registry and per-rank breakdowns are
 	// valid once Run returns.
 	Obs *obs.Obs
+	// Err is non-nil when the run aborted instead of completing: a
+	// *CrashError (errors.Is ErrRankDown) for an injected rank crash, or a
+	// *DeadlockError (errors.Is ErrDeadlock) from the shutdown watchdog.
+	// RankClocks then hold each rank's clock at its death.
+	Err error
 }
 
 // Run executes fn on nprocs ranks of the given cluster and returns timing
 // statistics. It panics if nprocs exceeds the cluster's node count, since
 // rank-to-node placement is 1:1 (the SS ran one process per node).
 func Run(cluster machine.Cluster, nprocs int, fn func(r *Rank)) Stats {
+	return RunWith(cluster, nprocs, RunOptions{}, fn)
+}
+
+// RunOptions configures fault injection for one run.
+type RunOptions struct {
+	// Plan schedules rank crashes in virtual time; nil injects nothing.
+	// Link/port degradation rides on the cluster's network health
+	// (netsim.Network.WithHealth), not here.
+	Plan *FaultPlan
+}
+
+// RunWith is Run with fault injection. When the run aborts — an injected
+// crash, or the shutdown watchdog detecting a world-wide deadlock — the
+// returned Stats carry the cause in Err and each rank's clock at death;
+// the process itself always survives.
+func RunWith(cluster machine.Cluster, nprocs int, opt RunOptions, fn func(r *Rank)) Stats {
 	if nprocs <= 0 {
 		panic("mp: nprocs must be positive")
 	}
 	if nprocs > cluster.Nodes {
 		panic(fmt.Sprintf("mp: %d ranks exceed %d nodes of %s", nprocs, cluster.Nodes, cluster.Name))
 	}
-	w := &World{n: nprocs, cluster: cluster}
+	w := &World{n: nprocs, cluster: cluster, plan: opt.Plan}
+	w.active = nprocs
+	w.waiters = make(map[int]waiter, nprocs)
 	w.boxes = make([]*inbox, nprocs)
 	for i := range w.boxes {
 		w.boxes[i] = newInbox()
@@ -186,9 +219,18 @@ func Run(cluster machine.Cluster, nprocs int, fn func(r *Rank)) Stats {
 		r.obs = w.obs.Rank(i)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				e := recover()
+				clocks[r.id] = r.clock
+				r.obs.M.Clock = r.clock
+				w.rankDone()
+				if e != nil {
+					if _, ok := e.(rankAbort); !ok {
+						panic(e) // real bug, not a world abort
+					}
+				}
+			}()
 			fn(r)
-			clocks[r.id] = r.clock
-			r.obs.M.Clock = r.clock
 		}()
 	}
 	wg.Wait()
@@ -197,6 +239,7 @@ func Run(cluster machine.Cluster, nprocs int, fn func(r *Rank)) Stats {
 		Messages:   w.totalMsgs, Bytes: w.totalBytes,
 		CollectiveMessages: w.collMsgs, CollectiveBytes: w.collBytes,
 		Obs: w.obs,
+		Err: w.abortErr,
 	}
 	for _, c := range clocks {
 		if c > st.ElapsedVirtual {
@@ -224,6 +267,7 @@ func (w *World) initObs() {
 	}
 	w.trunkBytes = w.obs.Reg.Counter("net.trunk.bytes")
 	w.congestedMsgs = w.obs.Reg.Counter("net.congested.msgs")
+	w.cCrashes = w.obs.Reg.Counter("faults.crashes")
 	w.hMsgLatency = w.obs.Reg.Histogram("mp.msg.latency_sec")
 	w.hMsgBytes = w.obs.Reg.Histogram("mp.msg.bytes")
 	w.hCollBytes = w.obs.Reg.Histogram("mp.collective.msg_bytes")
@@ -352,6 +396,7 @@ func (r *Rank) AdvanceClock(dt float64) {
 	if dt < 0 {
 		panic("mp: negative clock advance")
 	}
+	r.checkFaults()
 	r.clock += dt
 }
 
@@ -365,6 +410,7 @@ func (r *Rank) Node() machine.Node { return r.w.cluster.Node }
 // eff plus bytes of main-memory traffic (roofline, no overlap). It also
 // accumulates the rank's flop counter for rate reporting.
 func (r *Rank) Charge(flops, eff, bytes float64) {
+	r.checkFaults()
 	t0 := r.clock
 	r.clock += r.w.cluster.Node.Time(flops, eff, bytes)
 	r.flopsCharged += flops
@@ -375,6 +421,7 @@ func (r *Rank) Charge(flops, eff, bytes float64) {
 
 // ChargeDisk advances virtual time for local-disk streaming I/O.
 func (r *Rank) ChargeDisk(bytes float64) {
+	r.checkFaults()
 	t0 := r.clock
 	r.clock += r.w.cluster.Node.DiskTime(bytes)
 	r.obs.M.DiskSec += r.clock - t0
@@ -404,6 +451,7 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 	if dst < 0 || dst >= r.w.n {
 		panic(fmt.Sprintf("mp: send to rank %d of %d", dst, r.w.n))
 	}
+	r.checkFaults()
 	net := r.w.cluster.Net
 	// Sender-side software overhead.
 	t0 := r.clock
@@ -417,10 +465,18 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 		if p.RendezvousBytes > 0 && bytes >= p.RendezvousBytes {
 			xfer += p.RendezvousSec
 		}
-		xfer += float64(bytes) * 8 / r.w.congestedRate()
+		bw := r.w.congestedRate()
+		if h := net.Health; !h.Empty() {
+			// Degraded endpoints squeeze the already-congested share, and
+			// a flapping port at either end adds its latency spike.
+			xfer += h.PortLatency(r.id, t0) + h.PortLatency(dst, t0)
+			bw *= math.Min(h.CapFactor(netsim.LinkNICTx, r.id, t0),
+				h.CapFactor(netsim.LinkNICRx, dst, t0))
+		}
+		xfer += float64(bytes) * 8 / bw
 		r.w.congestedMsgs.Inc()
 	} else {
-		xfer = net.TransferTime(r.id, dst, bytes)
+		xfer = net.TransferTimeAt(r.id, dst, bytes, t0)
 	}
 	m := message{src: r.id, tag: tag, data: data, bytes: bytes, sent: t0, arrive: r.clock + xfer}
 	r.w.boxes[dst].put(m)
@@ -473,16 +529,41 @@ func (r *Rank) observeSend(dst int, bytes int64, t0, arrive float64) {
 // AnySource/AnyTag allowed), advances the clock to its arrival time, and
 // returns its payload.
 func (r *Rank) Recv(src, tag int) (any, Status) {
-	m := r.w.boxes[r.id].take(src, tag)
-	waitFrom := r.clock
-	waited := m.arrive > r.clock
-	if waited {
-		r.obs.M.WaitSec += m.arrive - r.clock
-		r.obs.Span("comm", "wait", r.clock, m.arrive)
-		r.clock = m.arrive
+	r.checkFaults()
+	m, _ := r.takeBlocking(src, tag, math.Inf(1))
+	st := r.deliver(m)
+	r.checkFaults() // a crash scheduled during the wait fires now
+	return m.data, st
+}
+
+// RecvTimeout is Recv with a virtual-time deadline of timeoutSec from now.
+// On timeout it returns an error wrapping ErrTimeout with the clock advanced
+// to the deadline and any late-arriving match left queued for a later
+// receive. Timeouts are exact in virtual time: a match whose arrival is past
+// the deadline times out even if it is already queued, and a receive with no
+// match pending only times out once the shutdown watchdog proves the world
+// quiescent (no sender can still be running) — never earlier, so a slow host
+// cannot change the virtual schedule.
+func (r *Rank) RecvTimeout(src, tag int, timeoutSec float64) (any, Status, error) {
+	if timeoutSec < 0 {
+		panic("mp: negative receive timeout")
 	}
-	r.obs.MsgRecvd(m.src, m.bytes, m.sent, m.arrive, waitFrom, waited)
-	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
+	r.checkFaults()
+	deadline := r.clock + timeoutSec
+	m, timedOut := r.takeBlocking(src, tag, deadline)
+	if timedOut {
+		if deadline > r.clock {
+			r.obs.M.WaitSec += deadline - r.clock
+			r.obs.Span("comm", "recv-timeout", r.clock, deadline)
+			r.clock = deadline
+		}
+		r.checkFaults()
+		return nil, Status{}, fmt.Errorf("recv(src=%s, tag=%s) at t=%.6gs: %w",
+			fmtSel(src), fmtSel(tag), r.clock, ErrTimeout)
+	}
+	st := r.deliver(m)
+	r.checkFaults()
+	return m.data, st, nil
 }
 
 // TryRecv is Recv without blocking. Unlike Recv it does not wait, and only
@@ -490,10 +571,19 @@ func (r *Rank) Recv(src, tag int) (any, Status) {
 // rank's clock OR any available matching message if the rank is idle-polling
 // (we accept slight optimism here; the arrival max still applies).
 func (r *Rank) TryRecv(src, tag int) (any, Status, bool) {
+	r.checkFaults()
 	m, ok := r.w.boxes[r.id].tryTake(src, tag)
 	if !ok {
 		return nil, Status{}, false
 	}
+	st := r.deliver(m)
+	r.checkFaults()
+	return m.data, st, true
+}
+
+// deliver advances the clock to a taken message's arrival and records the
+// receive in the per-rank breakdown and event log.
+func (r *Rank) deliver(m message) Status {
 	waitFrom := r.clock
 	waited := m.arrive > r.clock
 	if waited {
@@ -502,7 +592,7 @@ func (r *Rank) TryRecv(src, tag int) (any, Status, bool) {
 		r.clock = m.arrive
 	}
 	r.obs.MsgRecvd(m.src, m.bytes, m.sent, m.arrive, waitFrom, waited)
-	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}, true
+	return Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
 }
 
 // SendFloats sends a []float64 with proper wire-size accounting. The slice

@@ -1,0 +1,260 @@
+package mp
+
+// Shutdown watchdog: detects the state where every live rank is blocked in a
+// receive that no pending send can satisfy, and resolves it instead of
+// hanging the process (`mp.Recv` on a never-sent tag used to deadlock
+// `go test` forever).
+//
+// Detection is quiescence-based, not wall-clock-based — virtual time has no
+// relation to host time, so timers would misfire on slow hosts. Every
+// blocked receive registers a waiter carrying a snapshot of its inbox
+// sequence number (bumped on every message put). When the number of
+// registered waiters equals the number of live ranks AND every waiter's
+// inbox sequence is still its registered value, no rank can ever run again:
+// nobody is executing, and no in-flight message exists (sends are
+// synchronous puts; a changed sequence number would betray one).
+//
+// Resolution, in order of preference:
+//  1. wake the RecvTimeout waiter with the earliest virtual deadline
+//     (ties broken by rank) — a timed receive is a recoverable event;
+//  2. fire the earliest scheduled crash among the blocked ranks — a rank
+//     whose clock froze before its crash time still dies, it just dies
+//     blocked;
+//  3. abort the world with a DeadlockError naming every blocked rank and
+//     its pending receive.
+//
+// Lock ordering: wdMu is a leaf under any single inbox mutex. A resolver
+// may take the *target's* inbox mutex while holding its own; this cannot
+// cycle because it only happens at global quiescence, when every other rank
+// is parked in cond.Wait (mutex released) or briefly contending for the
+// same deterministic target. Before setting the target's timeout flag the
+// resolver re-verifies, under the target's inbox mutex, that the target is
+// still the same registered waiter — a stale flag could otherwise time out
+// an unrelated later receive.
+//
+// Known limitation: ranks that poll with TryRecv (the ABM engine) never
+// register as waiters, so a pure polling livelock is not detected. Polling
+// loops do check the abort flag, so they terminate whenever anything else
+// (crash, watchdog on the blocking ranks) aborts the world.
+
+import (
+	"math"
+	"sort"
+)
+
+// waiter is one rank blocked in takeBlocking.
+type waiter struct {
+	rank, src, tag int
+	deadline       float64 // virtual deadline; +Inf for plain Recv
+	clock          float64 // rank's clock at block time
+	seq            uint64  // inbox sequence at registration
+	crashAt        float64 // rank's scheduled crash time; +Inf if none
+}
+
+func (w *World) registerWaiter(x waiter) {
+	w.wdMu.Lock()
+	w.waiters[x.rank] = x
+	w.wdMu.Unlock()
+}
+
+func (w *World) updateWaiterSeq(rank int, seq uint64) {
+	w.wdMu.Lock()
+	if x, ok := w.waiters[rank]; ok {
+		x.seq = seq
+		w.waiters[rank] = x
+	}
+	w.wdMu.Unlock()
+}
+
+func (w *World) unregisterWaiter(rank int) {
+	w.wdMu.Lock()
+	delete(w.waiters, rank)
+	w.wdMu.Unlock()
+}
+
+// rankDone retires one rank (normal return or abort unwind) and re-checks
+// for quiescence: the last running rank exiting can strand the others.
+func (w *World) rankDone() {
+	w.wdMu.Lock()
+	w.active--
+	w.wdMu.Unlock()
+	w.tryResolve(-1)
+}
+
+// waiterCurrent reports whether the waiter entry t is still registered
+// unchanged. Caller holds the target's inbox mutex; wdMu nests under it.
+func (w *World) waiterCurrent(t waiter) bool {
+	w.wdMu.Lock()
+	defer w.wdMu.Unlock()
+	x, ok := w.waiters[t.rank]
+	return ok && x.seq == t.seq && x.deadline == t.deadline
+}
+
+// tryResolve checks for global quiescence and resolves it. self is the
+// calling rank when it holds its own inbox mutex (-1 otherwise); the return
+// is true only when the caller itself is the chosen timeout target and must
+// return ErrTimeout without sleeping.
+func (w *World) tryResolve(self int) bool {
+	if w.aborted.Load() {
+		return false
+	}
+	w.wdMu.Lock()
+	if w.active <= 0 || len(w.waiters) < w.active {
+		w.wdMu.Unlock()
+		return false
+	}
+	snap := make([]waiter, 0, len(w.waiters))
+	for _, x := range w.waiters {
+		snap = append(snap, x)
+	}
+	w.wdMu.Unlock()
+
+	// Quiescence check: any inbox that received mail since its owner
+	// registered means that owner will wake and run — not a deadlock.
+	for _, x := range snap {
+		if w.boxes[x.rank].seq.Load() != x.seq {
+			return false
+		}
+	}
+
+	// 1. Wake the earliest-deadline timed receive.
+	ti := -1
+	for i, x := range snap {
+		if math.IsInf(x.deadline, 1) {
+			continue
+		}
+		if ti < 0 || x.deadline < snap[ti].deadline ||
+			(x.deadline == snap[ti].deadline && x.rank < snap[ti].rank) {
+			ti = i
+		}
+	}
+	if ti >= 0 {
+		t := snap[ti]
+		if t.rank == self {
+			return true
+		}
+		ib := w.boxes[t.rank]
+		ib.mu.Lock()
+		if ib.seq.Load() == t.seq && w.waiterCurrent(t) {
+			ib.fireTimeout = true
+			ib.cond.Broadcast()
+		}
+		ib.mu.Unlock()
+		return false
+	}
+
+	// 2. Fire the earliest pending crash among the blocked ranks.
+	ci := -1
+	for i, x := range snap {
+		if math.IsInf(x.crashAt, 1) {
+			continue
+		}
+		if ci < 0 || x.crashAt < snap[ci].crashAt ||
+			(x.crashAt == snap[ci].crashAt && x.rank < snap[ci].rank) {
+			ci = i
+		}
+	}
+	if ci >= 0 {
+		t := snap[ci]
+		if w.abort(&CrashError{Rank: t.rank, AtSec: t.crashAt, Cause: w.plan.cause(t.rank)}, self) {
+			w.cCrashes.Inc()
+		}
+		return false
+	}
+
+	// 3. True deadlock: abort with the full diagnostic.
+	sort.Slice(snap, func(i, j int) bool { return snap[i].rank < snap[j].rank })
+	blocked := make([]BlockedRank, len(snap))
+	for i, x := range snap {
+		blocked[i] = BlockedRank{Rank: x.rank, Src: x.src, Tag: x.tag, Clock: x.clock}
+	}
+	w.abort(&DeadlockError{Blocked: blocked}, self)
+	return false
+}
+
+// matchMsg is the MPI-style (src, tag) match with wildcards.
+func matchMsg(m message, src, tag int) bool {
+	return (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag)
+}
+
+// takeBlocking removes and returns a message matching (src, tag) from this
+// rank's inbox, blocking until one exists. With a finite deadline it
+// implements RecvTimeout's virtual-time semantics: among queued matches it
+// picks the earliest virtual arrival, reports a timeout (leaving the message
+// queued) when that arrival is past the deadline, and reports a timeout when
+// the watchdog proves no message can ever come. It panics rankAbort when the
+// world aborts.
+func (r *Rank) takeBlocking(src, tag int, deadline float64) (message, bool) {
+	w := r.w
+	ib := w.boxes[r.id]
+	finite := !math.IsInf(deadline, 1)
+	registered := false
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	defer func() {
+		if registered {
+			w.unregisterWaiter(r.id)
+		}
+	}()
+	for {
+		if w.aborted.Load() {
+			panic(rankAbort{})
+		}
+		best := -1
+		for i := range ib.q {
+			if !matchMsg(ib.q[i], src, tag) {
+				continue
+			}
+			if best < 0 || (finite && ib.q[i].arrive < ib.q[best].arrive) {
+				best = i
+			}
+			if !finite {
+				break // plain Recv keeps queue order
+			}
+		}
+		if best >= 0 {
+			m := ib.q[best]
+			if m.arrive > deadline {
+				return message{}, true
+			}
+			ib.q = append(ib.q[:best], ib.q[best+1:]...)
+			return m, false
+		}
+		if ib.fireTimeout {
+			ib.fireTimeout = false
+			if finite {
+				return message{}, true
+			}
+			// Defensive: a stale flag on an untimed receive is ignored.
+		}
+		seq := ib.seq.Load()
+		if !registered {
+			registered = true
+			w.registerWaiter(waiter{
+				rank: r.id, src: src, tag: tag,
+				deadline: deadline, clock: r.clock, seq: seq,
+				crashAt: w.crashTime(r.id),
+			})
+		} else {
+			w.updateWaiterSeq(r.id, seq)
+		}
+		if w.tryResolve(r.id) {
+			return message{}, true
+		}
+		// tryResolve may have aborted the world naming this very rank (its
+		// broadcast skips an inbox whose mutex the caller holds) — re-check
+		// before sleeping. An abort issued after this check still wakes us:
+		// the broadcaster needs our inbox mutex, which only Wait releases.
+		if w.aborted.Load() {
+			panic(rankAbort{})
+		}
+		ib.cond.Wait()
+	}
+}
+
+func (w *World) crashTime(rank int) float64 {
+	if w.plan == nil {
+		return math.Inf(1)
+	}
+	return w.plan.crashAt(rank)
+}

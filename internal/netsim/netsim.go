@@ -149,10 +149,13 @@ func (p Profile) Bandwidth(bytes int64) float64 {
 }
 
 // Network couples a topology with a library profile and answers timing and
-// contention queries for the message-passing layer.
+// contention queries for the message-passing layer. Health, when non-nil,
+// carries time-indexed fault effects (see WithHealth); the *At query
+// variants consult it, the plain variants assume a perfect fabric.
 type Network struct {
-	Topo Topology
-	Prof Profile
+	Topo   Topology
+	Prof   Profile
+	Health *Health
 }
 
 // New constructs a network model; it validates the topology.
@@ -265,13 +268,21 @@ type resource struct {
 // flows using progressive filling over the PathLinks of every flow.
 func (n *Network) FairShare(flows []Flow) []float64 {
 	t := n.Topo
+	return n.fairShare(flows, t.PathLinks)
+}
+
+// fairShare is the progressive-filling solver over an arbitrary path oracle,
+// shared by FairShare (pristine capacities) and FairShareAt (health-degraded
+// capacities at one virtual time).
+func (n *Network) fairShare(flows []Flow, pathLinks func(src, dst int) []Link) []float64 {
+	t := n.Topo
 	caps := map[resource]float64{}
 	paths := make([][]resource, len(flows))
 	for i, f := range flows {
 		if f.Src == f.Dst {
 			continue // local copies do not touch the fabric
 		}
-		links := t.PathLinks(f.Src, f.Dst)
+		links := pathLinks(f.Src, f.Dst)
 		path := make([]resource, len(links))
 		for j, l := range links {
 			path[j] = l.key()

@@ -83,6 +83,44 @@ type Report struct {
 	RankMetrics []obs.RankMetrics                `json:"rank_metrics,omitempty"`
 	Counters    map[string]int64                 `json:"counters,omitempty"`
 	Gauges      map[string]float64               `json:"gauges,omitempty"`
+
+	// Faults summarizes fault injection and checkpoint recovery when the
+	// run was driven by core.RunRecovered; nil for fault-free runs. It is
+	// attached by the driver (the telemetry Analyze consumes covers only
+	// the completing segment).
+	Faults *FaultSummary `json:"faults,omitempty"`
+}
+
+// FaultSummary is the fault-injection and recovery record of a run
+// (ANALYSIS.json "faults"). Times are global virtual seconds.
+type FaultSummary struct {
+	// Attempts counts run segments (1 = never crashed); Crashes the rank
+	// crashes that fired, with their ranks and global virtual times.
+	Attempts      int       `json:"attempts"`
+	Crashes       int       `json:"crashes"`
+	CrashRanks    []int     `json:"crash_ranks,omitempty"`
+	CrashTimesSec []float64 `json:"crash_times_sec,omitempty"`
+	// RestoredSteps are the checkpoint steps each restart rolled back to
+	// (0 = initial conditions); ReplayedSteps totals re-run steps.
+	RestoredSteps []int `json:"restored_steps,omitempty"`
+	ReplayedSteps int   `json:"replayed_steps"`
+	// LostVirtualSec is discarded progress; TotalVirtualSec the machine
+	// cost summed over every segment including replay.
+	LostVirtualSec  float64 `json:"lost_virtual_sec"`
+	TotalVirtualSec float64 `json:"total_virtual_sec"`
+	// DegradedLinkSec / FlappingPortSec are the schedule's fabric-fault
+	// exposure.
+	DegradedLinkSec float64 `json:"degraded_link_sec"`
+	FlappingPortSec float64 `json:"flapping_port_sec"`
+	// CheckpointWrites counts completed checkpoints; CheckpointSec is the
+	// virtual disk time spent writing them; CorruptStripes the checkpoint
+	// sets rejected during recovery scans.
+	CheckpointWrites int     `json:"checkpoint_writes"`
+	CheckpointSec    float64 `json:"checkpoint_sec"`
+	CorruptStripes   int     `json:"corrupt_stripes"`
+	// RecoveredBitIdentical, when set, records the outcome of a
+	// verification pass against an uninterrupted twin run.
+	RecoveredBitIdentical *bool `json:"recovered_bit_identical,omitempty"`
 }
 
 // CriticalPath is the longest causal chain of the run. Its segments tile

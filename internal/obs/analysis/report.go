@@ -100,6 +100,21 @@ func (r *Report) Render() string {
 		}
 	}
 
+	if fs := r.Faults; fs != nil {
+		f("\nfault injection & recovery:\n")
+		f("  crashes %d (ranks %v at %v s), %d attempt(s)\n",
+			fs.Crashes, fs.CrashRanks, fs.CrashTimesSec, fs.Attempts)
+		f("  rollbacks to steps %v, %d steps replayed, %s virtual lost\n",
+			fs.RestoredSteps, fs.ReplayedSteps, fsec(fs.LostVirtualSec))
+		f("  checkpoints %d written (%s disk), %d corrupt set(s) skipped; fabric degraded %s, flapping %s\n",
+			fs.CheckpointWrites, fsec(fs.CheckpointSec), fs.CorruptStripes,
+			fsec(fs.DegradedLinkSec), fsec(fs.FlappingPortSec))
+		f("  total virtual cost %s\n", fsec(fs.TotalVirtualSec))
+		if fs.RecoveredBitIdentical != nil {
+			f("  recovery verified bit-identical: %v\n", *fs.RecoveredBitIdentical)
+		}
+	}
+
 	if len(r.Links) > 0 {
 		f("\nlink utilization (%d timeline bins over the makespan):\n", timelineLen(r.Links))
 		f("  %-16s %14s %8s %8s %8s  %s\n", "link", "bytes", "mean", "peak", "busy", "timeline")

@@ -1,0 +1,121 @@
+package pario
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestStripeCorruptionSentinels damages a valid stripe in every way the
+// restart driver must distinguish and checks each maps to the right wrapped
+// sentinel: recoverable damage is ErrCorrupt (retry an older checkpoint),
+// a misrouted read is ErrWrongRank (a bug, not a disk fault).
+func TestStripeCorruptionSentinels(t *testing.T) {
+	payload := []float64{1.5, -2.25, 3.125, 0, 42}
+
+	cases := []struct {
+		name     string
+		mangle   func(raw []byte) []byte
+		sentinel error
+	}{
+		{
+			name:     "payload bit-flip",
+			mangle:   func(raw []byte) []byte { raw[3*8+5] ^= 0x10; return raw },
+			sentinel: ErrCorrupt,
+		},
+		{
+			name:     "checksum bit-flip",
+			mangle:   func(raw []byte) []byte { raw[len(raw)-1] ^= 0x01; return raw },
+			sentinel: ErrCorrupt,
+		},
+		{
+			name:     "bad magic",
+			mangle:   func(raw []byte) []byte { raw[0] ^= 0xff; return raw },
+			sentinel: ErrCorrupt,
+		},
+		{
+			name:     "truncated mid-payload",
+			mangle:   func(raw []byte) []byte { return raw[:3*8+12] },
+			sentinel: ErrCorrupt,
+		},
+		{
+			name:     "truncated checksum",
+			mangle:   func(raw []byte) []byte { return raw[:len(raw)-4] },
+			sentinel: ErrCorrupt,
+		},
+		{
+			name:     "empty file",
+			mangle:   func(raw []byte) []byte { return nil },
+			sentinel: ErrCorrupt,
+		},
+		{
+			name: "count promises more than the file holds",
+			mangle: func(raw []byte) []byte {
+				binary.LittleEndian.PutUint64(raw[16:], 1<<40)
+				return raw
+			},
+			sentinel: ErrCorrupt,
+		},
+		{
+			name: "wrong rank in header",
+			mangle: func(raw []byte) []byte {
+				binary.LittleEndian.PutUint64(raw[8:], 9)
+				return raw
+			},
+			sentinel: ErrWrongRank,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path, err := WriteStripe(dir, "ck", 4, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = ReadStripe(path, 4)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("err = %v, want %v", err, tc.sentinel)
+			}
+			// The two sentinels must stay distinguishable.
+			other := ErrWrongRank
+			if tc.sentinel == ErrWrongRank {
+				other = ErrCorrupt
+			}
+			if errors.Is(err, other) {
+				t.Fatalf("err %v matches both sentinels", err)
+			}
+		})
+	}
+}
+
+// TestStripeIntactStillReads guards against the size check rejecting a
+// well-formed stripe (including the empty payload).
+func TestStripeIntactStillReads(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []int{0, 1, 1000} {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i) * 0.5
+		}
+		path, err := WriteStripe(dir, "ok", 2, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadStripe(path, 2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: read %d values", n, len(got))
+		}
+	}
+}

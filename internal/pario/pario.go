@@ -10,6 +10,7 @@ package pario
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc64"
 	"io"
@@ -22,6 +23,17 @@ import (
 
 // magic identifies a checkpoint stripe file.
 const magic = 0x53534350 // "SSCP"
+
+// Sentinel errors distinguishing recoverable stripe damage from caller bugs.
+// The checkpoint-restart driver treats ErrCorrupt as "fall back to an older
+// checkpoint" and ErrWrongRank as a misrouted read it must not paper over.
+var (
+	// ErrCorrupt marks a stripe that cannot be trusted: bad magic, a
+	// truncated file, or a CRC mismatch.
+	ErrCorrupt = errors.New("pario: corrupt stripe")
+	// ErrWrongRank marks an intact stripe that belongs to a different rank.
+	ErrWrongRank = errors.New("pario: stripe rank mismatch")
+)
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
@@ -59,43 +71,60 @@ func WriteStripe(dir, name string, rank int, data []float64) (string, error) {
 	return path, f.Close()
 }
 
-// ReadStripe reads and verifies a stripe, returning the payload.
+// stripeOverhead is the non-payload size of a stripe: three header words
+// (magic, rank, count) plus the trailing CRC64.
+const stripeOverhead = 4 * 8
+
+// ReadStripe reads and verifies a stripe, returning the payload. Damage is
+// reported through wrapped sentinels: errors.Is(err, ErrCorrupt) for bad
+// magic, truncation, or a checksum mismatch; errors.Is(err, ErrWrongRank)
+// when the stripe carries another rank's header.
 func ReadStripe(path string, wantRank int) ([]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
 	r := bufio.NewReader(f)
 	h := crc64.New(crcTable)
 	tee := io.TeeReader(r, h)
 	var mg, rank, count uint64
 	for _, p := range []*uint64{&mg, &rank, &count} {
 		if err := binary.Read(tee, binary.LittleEndian, p); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %s: truncated header: %v", ErrCorrupt, path, err)
 		}
 	}
 	if mg != magic {
-		return nil, fmt.Errorf("pario: %s: bad magic %x", path, mg)
+		return nil, fmt.Errorf("%w: %s: bad magic %#x", ErrCorrupt, path, mg)
 	}
 	if int(rank) != wantRank {
-		return nil, fmt.Errorf("pario: %s: stripe rank %d, want %d", path, rank, wantRank)
+		return nil, fmt.Errorf("%w: %s: stripe rank %d, want %d", ErrWrongRank, path, rank, wantRank)
+	}
+	// Validate the payload count against the file size before allocating:
+	// a corrupted count must not turn into a giant allocation.
+	if want := int64(count)*8 + stripeOverhead; fi.Size() != want {
+		return nil, fmt.Errorf("%w: %s: %d bytes on disk, header promises %d",
+			ErrCorrupt, path, fi.Size(), want)
 	}
 	data := make([]float64, count)
 	buf := make([]byte, 8)
 	for i := range data {
 		if _, err := io.ReadFull(tee, buf); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %s: truncated payload: %v", ErrCorrupt, path, err)
 		}
 		data[i] = float64frombits(binary.LittleEndian.Uint64(buf))
 	}
 	sum := h.Sum64()
 	var want uint64
 	if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s: truncated checksum: %v", ErrCorrupt, path, err)
 	}
 	if sum != want {
-		return nil, fmt.Errorf("pario: %s: CRC mismatch", path)
+		return nil, fmt.Errorf("%w: %s: CRC mismatch", ErrCorrupt, path)
 	}
 	return data, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Component identifies a failable part.
@@ -132,7 +133,11 @@ func Simulate(opt Options) *Simulation {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	rates := PaperCalibrated()
 	sim := &Simulation{Nodes: opt.Nodes, Months: opt.Months}
-	for c, p := range rates.Install {
+	// Iterate components in sorted order: randomized map order would
+	// otherwise consume the RNG stream differently on every run, breaking
+	// seed determinism.
+	for _, c := range sortedComponents(rates.Install) {
+		p := rates.Install[c]
 		n := Population(c, opt.Nodes)
 		for u := 0; u < n; u++ {
 			if rng.Float64() < p {
@@ -140,7 +145,8 @@ func Simulate(opt Options) *Simulation {
 			}
 		}
 	}
-	for c, hz := range rates.PerMonth {
+	for _, c := range sortedComponents(rates.PerMonth) {
+		hz := rates.PerMonth[c]
 		n := Population(c, opt.Nodes)
 		for u := 0; u < n; u++ {
 			// exponential time to failure with the monthly hazard
@@ -155,6 +161,16 @@ func Simulate(opt Options) *Simulation {
 		}
 	}
 	return sim
+}
+
+// sortedComponents returns the keys of a rate map in lexical order.
+func sortedComponents(m map[Component]float64) []Component {
+	out := make([]Component, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Counts tallies events by component for the install phase (install=true)
