@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke ci all
 
 all: build test vet fmt-check
 
@@ -56,6 +56,16 @@ fault-smoke:
 	$(GO) run ./cmd/tracecheck -analysis /tmp/spacesim-smoke-faults.json \
 		-faultsweep /tmp/spacesim-smoke-faultsweep.json
 
+# Tree-construction smoke: a quick seed-vs-pipeline build benchmark (which
+# itself verifies bit-identity across worker counts and exits nonzero on
+# divergence), schema-validation of the v4 bench record, and a self-diff
+# through the bench arm of the perf gate.
+treebuild-smoke:
+	$(GO) run ./cmd/ssbench treebuild -quick -o /tmp/spacesim-smoke-treebuild.json
+	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-treebuild.json
+	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-treebuild.json /tmp/spacesim-smoke-treebuild.json
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
-# the observability + trace-analysis + fault-injection smoke runs.
-ci: fmt-check vet test race smoke analyze-smoke fault-smoke
+# the observability + trace-analysis + fault-injection + tree-build smoke
+# runs.
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke

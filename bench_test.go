@@ -16,6 +16,7 @@ import (
 	"spacesim/internal/cluster"
 	"spacesim/internal/core"
 	"spacesim/internal/cosmo"
+	"spacesim/internal/gravity"
 	"spacesim/internal/hpl"
 	"spacesim/internal/htree"
 	"spacesim/internal/machine"
@@ -296,6 +297,89 @@ func treewalkTree(b *testing.B) *htree.Tree {
 		b.Fatal(err)
 	}
 	return tr
+}
+
+// treewalkParticles returns the particle set behind the tree-construction
+// benchmarks.
+func treewalkParticles() ([]vec.V3, []float64) {
+	rng := rand.New(rand.NewSource(5))
+	ics := core.PlummerSphere(rng, 32768, 1.0)
+	pos := make([]vec.V3, len(ics))
+	mass := make([]float64, len(ics))
+	for i := range ics {
+		pos[i], mass[i] = ics[i].Pos, ics[i].Mass
+	}
+	return pos, mass
+}
+
+// BenchmarkTreeBuildReference32k is the seed construction path: serial
+// keying, comparison sort, and the map-backed recursive build.
+func BenchmarkTreeBuildReference32k(b *testing.B) {
+	pos, mass := treewalkParticles()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htree.BuildReference(pos, mass, htree.Options{MaxLeaf: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeBuildPipeline32k is the parallel pipeline at one worker with
+// a reused arena — the steady per-step rebuild cost. The allocs/op column
+// against the reference benchmark shows the arena's effect.
+func BenchmarkTreeBuildPipeline32k(b *testing.B) {
+	pos, mass := treewalkParticles()
+	ar := &htree.Arena{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htree.Build(pos, mass, htree.Options{MaxLeaf: 16, Workers: 1, Arena: ar}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeBuildPipelineWorkers32k fans the build over every host core.
+func BenchmarkTreeBuildPipelineWorkers32k(b *testing.B) {
+	pos, mass := treewalkParticles()
+	ar := &htree.Arena{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htree.Build(pos, mass, htree.Options{MaxLeaf: 16, Workers: 0, Arena: ar}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeafBodies32k gathers every leaf's sources with the allocating
+// accessor — the per-leaf garbage the walk used to produce.
+func BenchmarkLeafBodies32k(b *testing.B) {
+	tr := treewalkTree(b)
+	leaves := tr.Leaves()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range leaves {
+			tr.LeafBodies(c)
+		}
+	}
+}
+
+// BenchmarkAppendLeafBodies32k is the same gather through the scratch-reusing
+// append accessor; allocs/op drops to zero once the buffer is warm.
+func BenchmarkAppendLeafBodies32k(b *testing.B) {
+	tr := treewalkTree(b)
+	leaves := tr.Leaves()
+	var scratch []gravity.Source
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range leaves {
+			scratch = tr.AppendLeafBodies(scratch[:0], c)
+		}
+	}
 }
 
 // BenchmarkTreewalkPerBody32k is the seed engine: one tree walk per body.

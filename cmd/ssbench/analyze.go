@@ -71,8 +71,9 @@ func analyzeBench() {
 	}
 }
 
-// diffCmd compares two ANALYSIS.json files and exits nonzero when the new
-// run regressed past the thresholds — the CI perf gate.
+// diffCmd compares two ANALYSIS.json files — or two BENCH_treecode.json
+// records, detected by their schema_version field — and exits nonzero when
+// the new run regressed past the thresholds. This is the CI perf gate.
 func diffCmd(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	th := analysis.DefaultThresholds()
@@ -84,6 +85,8 @@ func diffCmd(args []string) {
 		"allowed relative message-latency p99 increase")
 	fs.Float64Var(&th.EfficiencyDrop, "efficiency-drop", th.EfficiencyDrop,
 		"allowed absolute parallel-efficiency drop")
+	treebuildFrac := fs.Float64("treebuild-frac", 0.35,
+		"allowed relative tree-construction time increase (bench records)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ssbench diff [flags] OLD.json NEW.json")
 		fs.PrintDefaults()
@@ -94,6 +97,15 @@ func diffCmd(args []string) {
 	if fs.NArg() != 2 {
 		fs.Usage()
 		os.Exit(2)
+	}
+	oldBench, newBench := isBenchFile(fs.Arg(0)), isBenchFile(fs.Arg(1))
+	if oldBench != newBench {
+		fmt.Fprintln(os.Stderr, "diff: cannot compare a bench record with an analysis report")
+		os.Exit(2)
+	}
+	if oldBench {
+		diffTreebuild(fs.Arg(0), fs.Arg(1), *treebuildFrac)
+		return
 	}
 	oldR, err := analysis.ReadFile(fs.Arg(0))
 	if err != nil {

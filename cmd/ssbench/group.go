@@ -55,6 +55,10 @@ type groupDistributed struct {
 //	3 — adds the trace-analysis summary of the distributed run (virtual
 //	    makespan, parallel efficiency, critical-path breakdown, message
 //	    latency p99); the metrics snapshot gains histograms
+//	4 — adds the tree-construction benchmark block (`treebuild`): seed vs
+//	    parallel-pipeline phase timings, speedups, and the bit-identity
+//	    verdict. Written by `ssbench treebuild`, which merges into an
+//	    existing record; the other blocks stay optional.
 type groupReport struct {
 	SchemaVersion   int                  `json:"schema_version"`
 	N               int                  `json:"n"`
@@ -71,6 +75,7 @@ type groupReport struct {
 	Distributed     *groupDistributed    `json:"distributed,omitempty"`
 	Metrics         *obs.MetricsSnapshot `json:"metrics,omitempty"`
 	Analysis        *analysis.Summary    `json:"analysis,omitempty"`
+	Treebuild       *treebuildReport     `json:"treebuild,omitempty"`
 }
 
 // groupBench times the per-body treewalk against the bucket-grouped one on a

@@ -7,7 +7,7 @@
 //	ssbench <experiment> [flags]
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig2 fig3
-// fig4 fig5 fig6 fig7 fig8 group switch spec reliability moore all
+// fig4 fig5 fig6 fig7 fig8 group treebuild switch spec reliability moore all
 package main
 
 import (
@@ -94,6 +94,7 @@ func main() {
 		"fig7":        fig7,
 		"fig8":        fig8,
 		"group":       groupBench,
+		"treebuild":   treebuildBench,
 		"analyze":     analyzeBench,
 		"switch":      switchBackplane,
 		"spec":        spec,
@@ -122,8 +123,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|analyze|diff|faultsweep|switch|spec|reliability|moore|all>")
-	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json   (ANALYSIS.json or BENCH_treecode.json pairs)")
 }
 
 // startProfiles begins host-side pprof capture when requested.

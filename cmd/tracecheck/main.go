@@ -348,8 +348,25 @@ func checkFaultsweep(path string) bool {
 	return true
 }
 
+// benchPhases mirrors htree.BuildPhases in the bench record.
+type benchPhases struct {
+	KeySec   float64 `json:"key_sec"`
+	SortSec  float64 `json:"sort_sec"`
+	BuildSec float64 `json:"build_sec"`
+	MergeSec float64 `json:"merge_sec"`
+}
+
+func (p benchPhases) sum() float64 { return p.KeySec + p.SortSec + p.BuildSec + p.MergeSec }
+func (p benchPhases) nonneg() bool {
+	return p.KeySec >= 0 && p.SortSec >= 0 && p.BuildSec >= 0 && p.MergeSec >= 0
+}
+
 // checkBench validates BENCH_treecode.json. Records at schema_version >= 3
-// must embed both the metrics snapshot and the trace-analysis summary.
+// with an engine comparison must embed both the metrics snapshot and the
+// trace-analysis summary; records at schema_version >= 4 must carry a valid
+// tree-construction (treebuild) block. A v4 record may hold only the
+// treebuild block (written by `ssbench treebuild` without a prior `group`
+// run), in which case the engine-comparison requirements do not apply.
 func checkBench(path string) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -361,17 +378,65 @@ func checkBench(path string) bool {
 		Results       []json.RawMessage    `json:"results"`
 		Metrics       *obs.MetricsSnapshot `json:"metrics"`
 		Analysis      *analysis.Summary    `json:"analysis"`
+		Treebuild     *struct {
+			N            int     `json:"n"`
+			MaxLeaf      int     `json:"max_leaf"`
+			SeedSeconds  float64 `json:"seed_seconds"`
+			BitIdentical bool    `json:"bit_identical"`
+			Entries      []struct {
+				Workers       int         `json:"workers"`
+				Seconds       float64     `json:"seconds"`
+				SpeedupVsSeed float64     `json:"speedup_vs_seed"`
+				Phases        benchPhases `json:"phases"`
+			} `json:"entries"`
+		} `json:"treebuild"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fail(path, "not valid bench JSON: %v", err)
 	}
-	if rep.N <= 0 || len(rep.Results) == 0 {
-		return fail(path, "missing workload description (n=%d, %d results)", rep.N, len(rep.Results))
+	if rep.N <= 0 {
+		return fail(path, "missing workload description (n=%d)", rep.N)
 	}
-	if rep.SchemaVersion >= 2 && rep.Metrics == nil {
+	if len(rep.Results) == 0 && rep.Treebuild == nil {
+		return fail(path, "record holds neither engine results nor a treebuild block")
+	}
+	if rep.SchemaVersion >= 4 && rep.Treebuild == nil {
+		return fail(path, "schema v%d record without a treebuild block", rep.SchemaVersion)
+	}
+	if tb := rep.Treebuild; tb != nil {
+		if tb.N <= 0 || tb.MaxLeaf <= 0 {
+			return fail(path, "treebuild: missing workload description (n=%d, max_leaf=%d)", tb.N, tb.MaxLeaf)
+		}
+		if tb.SeedSeconds <= 0 {
+			return fail(path, "treebuild: seed_seconds %g, want > 0", tb.SeedSeconds)
+		}
+		if len(tb.Entries) == 0 {
+			return fail(path, "treebuild: no entries")
+		}
+		if !tb.BitIdentical {
+			return fail(path, "treebuild: record not bit-identical")
+		}
+		for i, e := range tb.Entries {
+			if e.Workers <= 0 || e.Seconds <= 0 {
+				return fail(path, "treebuild entry %d: workers=%d seconds=%g", i, e.Workers, e.Seconds)
+			}
+			if d := math.Abs(e.SpeedupVsSeed - tb.SeedSeconds/e.Seconds); d > 1e-6*e.SpeedupVsSeed {
+				return fail(path, "treebuild entry %d: speedup %g inconsistent with %g/%g",
+					i, e.SpeedupVsSeed, tb.SeedSeconds, e.Seconds)
+			}
+			if !e.Phases.nonneg() {
+				return fail(path, "treebuild entry %d: negative phase time %+v", i, e.Phases)
+			}
+			if s := e.Phases.sum(); s > e.Seconds*(1+1e-9)+1e-6 {
+				return fail(path, "treebuild entry %d: phase sum %g exceeds total %g", i, s, e.Seconds)
+			}
+		}
+	}
+	// The engine-comparison blocks below only bind when the comparison ran.
+	if len(rep.Results) > 0 && rep.SchemaVersion >= 2 && rep.Metrics == nil {
 		return fail(path, "schema v%d record without embedded metrics", rep.SchemaVersion)
 	}
-	if rep.SchemaVersion >= 3 {
+	if len(rep.Results) > 0 && rep.SchemaVersion >= 3 {
 		a := rep.Analysis
 		if a == nil {
 			return fail(path, "schema v%d record without embedded analysis summary", rep.SchemaVersion)
@@ -394,7 +459,11 @@ func checkBench(path string) bool {
 			return fail(path, "analysis categories sum to %g, want %g", catSum, a.CriticalPathSec)
 		}
 	}
-	fmt.Printf("tracecheck: %s ok: schema v%d, n=%d, %d results, metrics=%v, analysis=%v\n",
-		path, rep.SchemaVersion, rep.N, len(rep.Results), rep.Metrics != nil, rep.Analysis != nil)
+	tbNote := ""
+	if rep.Treebuild != nil {
+		tbNote = fmt.Sprintf(", treebuild %d entries", len(rep.Treebuild.Entries))
+	}
+	fmt.Printf("tracecheck: %s ok: schema v%d, n=%d, %d results, metrics=%v, analysis=%v%s\n",
+		path, rep.SchemaVersion, rep.N, len(rep.Results), rep.Metrics != nil, rep.Analysis != nil, tbNote)
 	return true
 }

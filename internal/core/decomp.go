@@ -44,19 +44,26 @@ func globalBox(r *mp.Rank, bodies []Body) (vec.V3, float64) {
 func Decompose(r *mp.Rank, bodies []Body) (local []Body, splitters []key.K, boxLo vec.V3, boxSize float64) {
 	p := r.Size()
 	boxLo, boxSize = globalBox(r, bodies)
+	endKey := r.Span("phase", "tree-key")
 	for i := range bodies {
 		bodies[i].Key = key.FromPosition(bodies[i].Pos, boxLo, boxSize)
 		if bodies[i].Work <= 0 {
 			bodies[i].Work = 1
 		}
 	}
-	sort.Slice(bodies, func(i, j int) bool { return bodies[i].Key < bodies[j].Key })
-	// Charge the local sort: ~ n log n compares with ~2 words traffic each.
+	// Charge the key generation: ~30 flop-equivalents of integer bit
+	// spreading per body over one streamed pass.
 	n := len(bodies)
+	r.Charge(30*float64(n), 0.5, 16*float64(n))
+	endKey()
+	endSort := r.Span("phase", "tree-sort")
+	sortBodiesByKey(bodies)
+	// Charge the local sort: ~ n log n compares with ~2 words traffic each.
 	if n > 1 {
 		cmp := float64(n) * logf(n)
 		r.Charge(2*cmp, 0.5, 16*cmp)
 	}
+	endSort()
 
 	if p == 1 {
 		return bodies, nil, boxLo, boxSize
@@ -136,12 +143,24 @@ func Decompose(r *mp.Rank, bodies []Body) (local []Body, splitters []key.K, boxL
 			local = append(local, c.([]Body)...)
 		}
 	}
-	sort.Slice(local, func(i, j int) bool { return local[i].Key < local[j].Key })
+	endSort = r.Span("phase", "tree-sort")
+	sortBodiesByKey(local)
 	if m := len(local); m > 1 {
 		cmp := float64(m) * logf(m)
 		r.Charge(2*cmp, 0.5, 16*cmp)
 	}
+	endSort()
 	return local, splitters, boxLo, boxSize
+}
+
+// sortBodiesByKey orders bodies by (Key, ID): the stable composite order
+// keeps coincident bodies (equal Morton keys) in a deterministic sequence,
+// matching the (Key, original-index) order the tree build produces.
+func sortBodiesByKey(bodies []Body) {
+	sort.Slice(bodies, func(i, j int) bool {
+		a, b := &bodies[i], &bodies[j]
+		return a.Key < b.Key || (a.Key == b.Key && a.ID < b.ID)
+	})
 }
 
 // Owner returns the rank owning a key under the given splitters.

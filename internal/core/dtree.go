@@ -188,8 +188,12 @@ func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3
 	defer r.Span("phase", "tree-build")()
 
 	if len(bodies) > 0 {
-		pos := make([]vec.V3, len(bodies))
-		mass := make([]float64, len(bodies))
+		endConstruct := r.Span("phase", "tree-construct")
+		arena := opt.BuildArena
+		if arena == nil {
+			arena = &htree.Arena{}
+		}
+		pos, mass := arena.PosMassScratch(len(bodies))
 		for i := range bodies {
 			pos[i] = bodies[i].Pos
 			mass[i] = bodies[i].Mass
@@ -199,6 +203,9 @@ func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3
 			// Split domain-straddling cells so every leaf is complete and
 			// the branch cells exactly tile this rank's key range.
 			ForceSplit: func(k key.K) bool { return !dt.complete(k) },
+			Workers:    opt.Workers,
+			Arena:      arena,
+			Obs:        dt.o,
 		})
 		if err != nil {
 			panic("core: local tree build: " + err.Error())
@@ -208,9 +215,12 @@ func BuildDistributed(r *mp.Rank, bodies []Body, splitters []key.K, boxLo vec.V3
 		// Decompose; the build itself is ~O(n log n) light work.
 		n := float64(len(bodies))
 		r.Charge(30*n, 0.4, 120*n)
+		endConstruct()
 	}
 
+	endMerge := r.Span("phase", "tree-merge")
 	dt.exchangeBranches()
+	endMerge()
 	return dt
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"spacesim/internal/htree"
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
 	"spacesim/internal/vec"
@@ -102,11 +103,18 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 	st := mp.RunWith(cfg.Cluster, cfg.Procs, mp.RunOptions{Plan: cfg.Faults}, func(r *mp.Rank) {
 		var local []Body
 
+		// Per-rank build arena: every step's tree rebuild reuses this
+		// rank's key/body/cell storage instead of re-allocating. Arenas are
+		// exclusive state, so each rank goroutine gets its own (any arena
+		// set on cfg.Opt is deliberately not shared).
+		ropt := opt
+		ropt.BuildArena = &htree.Arena{}
+
 		eval := func() ([]Body, []vec.V3, []float64, TraversalStats) {
 			endDecomp := r.Span("phase", "decompose")
 			bodies, splitters, boxLo, boxSize := Decompose(r, local)
 			endDecomp()
-			dt := BuildDistributed(r, bodies, splitters, boxLo, boxSize, opt)
+			dt := BuildDistributed(r, bodies, splitters, boxLo, boxSize, ropt)
 			acc, pot, ts := dt.ComputeForces(bodies)
 			// Feed each body's interaction count back as its decomposition
 			// weight — "the amount of data that ends up in each processor is

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"spacesim/internal/htree"
 	"spacesim/internal/key"
 	"spacesim/internal/vec"
 )
@@ -55,9 +56,16 @@ type Options struct {
 	// the default bucket-grouped engine (kept for A/B validation).
 	PerBody bool
 	// Workers is the number of host goroutines evaluating bucket
-	// interaction lists in the grouped engine (default
-	// runtime.GOMAXPROCS(0)). Results are bit-identical for any value.
+	// interaction lists in the grouped engine and running the tree-build
+	// pipeline (default runtime.GOMAXPROCS(0)). Results are bit-identical
+	// for any value.
 	Workers int
+	// BuildArena, when non-nil, supplies reusable tree-build storage so a
+	// rank's per-step rebuilds stop allocating. An arena is exclusive
+	// per-rank state: Run ignores this field and gives every rank
+	// goroutine its own arena; set it only when calling BuildDistributed
+	// directly from a single goroutine.
+	BuildArena *htree.Arena
 }
 
 func (o Options) withDefaults() Options {

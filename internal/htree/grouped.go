@@ -32,28 +32,19 @@ func (t *Tree) SetObs(o *obs.Obs) {
 	}
 }
 
-// Leaves returns the leaf buckets in body order: depth-first by octant,
-// which is Morton-key order, so leaf i covers Bodies[leafI.Lo:leafI.Hi]
-// with ascending, adjacent ranges.
+// Leaves returns the leaf buckets in body order, so leaf i covers
+// Bodies[leafI.Lo:leafI.Hi] with ascending, adjacent ranges. The slab is
+// laid out with task cells in pre-order, tasks in body order, and skeleton
+// cells (never leaves) at the end, so a single forward scan suffices — no
+// tree walk, no hash probes.
 func (t *Tree) Leaves() []*Cell {
-	out := make([]*Cell, 0, len(t.cells)/2+1)
-	var walk func(k key.K)
-	walk = func(k key.K) {
-		c, ok := t.cells[k]
-		if !ok {
-			return
-		}
-		if c.Leaf {
-			out = append(out, c)
-			return
-		}
-		for oct := 0; oct < 8; oct++ {
-			if c.ChildMask&(1<<uint(oct)) != 0 {
-				walk(k.Child(oct))
-			}
+	cells := t.store.cells
+	out := make([]*Cell, 0, len(cells)/2+1)
+	for i := range cells {
+		if cells[i].Leaf {
+			out = append(out, &cells[i])
 		}
 	}
-	walk(key.Root)
 	return out
 }
 
@@ -100,7 +91,7 @@ func (t *Tree) gatherList(bucket *Cell, theta float64, sc *groupScratch, st *Wal
 	for len(sc.stack) > 0 {
 		k := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
-		c := t.cells[k]
+		c := t.store.get(k)
 		d := c.Mp.COM.Dist(center) - radius
 		if !c.Leaf && AcceptMAC(d, c.Bmax, theta) {
 			sc.cells = append(sc.cells, c.Mp)

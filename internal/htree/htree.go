@@ -4,12 +4,17 @@
 // key arithmetic. The level of indirection through the hash table is what
 // lets the parallel code (package core) catch accesses to non-local cells
 // and request them from other processors by global key name.
+//
+// Construction is a parallel pipeline (see build.go): parallel Morton
+// keying, a stable parallel radix sort, octant-parallel subtree builds, and
+// a bottom-up multipole merge — bit-identical to a serial build for any
+// worker count. Cells live in a contiguous slab addressed through a flat
+// open-addressing hash table (see cellstore.go).
 package htree
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"spacesim/internal/gravity"
 	"spacesim/internal/key"
@@ -49,14 +54,18 @@ type Tree struct {
 	// BoxLo and BoxSize define the root cell cube.
 	BoxLo   vec.V3
 	BoxSize float64
-	// Bodies are sorted by key; leaf cells reference ranges of this slice.
+	// Bodies are sorted by (key, original index); leaf cells reference
+	// ranges of this slice. When the tree was built from an Arena this
+	// slice is arena storage, invalidated by the arena's next build.
 	Bodies []Body
 	// MaxLeaf is the bucket size: cells with at most this many bodies are
 	// not subdivided.
 	MaxLeaf int
+	// Phases records the construction phase timings of this tree.
+	Phases BuildPhases
 
 	forceSplit func(k key.K) bool
-	cells      map[key.K]*Cell
+	store      cellStore
 
 	// observation handles (no-ops until SetObs).
 	o  *obs.Obs
@@ -76,37 +85,19 @@ type Options struct {
 	// parallel code uses it to split cells straddling domain boundaries so
 	// that every leaf is complete within one processor's key range.
 	ForceSplit func(k key.K) bool
-}
-
-// Build constructs the tree for the given positions and masses.
-func Build(pos []vec.V3, mass []float64, opt Options) (*Tree, error) {
-	if len(pos) != len(mass) {
-		return nil, fmt.Errorf("htree: %d positions but %d masses", len(pos), len(mass))
-	}
-	if len(pos) == 0 {
-		return nil, fmt.Errorf("htree: empty body set")
-	}
-	if opt.MaxLeaf <= 0 {
-		opt.MaxLeaf = 8
-	}
-	lo, size := opt.BoxLo, opt.BoxSize
-	if size == 0 {
-		lo, size = BoundingCube(pos)
-	}
-	t := &Tree{
-		BoxLo:      lo,
-		BoxSize:    size,
-		MaxLeaf:    opt.MaxLeaf,
-		forceSplit: opt.ForceSplit,
-		cells:      make(map[key.K]*Cell, 2*len(pos)/opt.MaxLeaf+16),
-	}
-	t.Bodies = make([]Body, len(pos))
-	for i := range pos {
-		t.Bodies[i] = Body{Pos: pos[i], Mass: mass[i], Key: key.FromPosition(pos[i], lo, size), ID: i}
-	}
-	sort.Slice(t.Bodies, func(i, j int) bool { return t.Bodies[i].Key < t.Bodies[j].Key })
-	t.build(key.Root, 0, len(t.Bodies))
-	return t, nil
+	// Workers bounds the host goroutines of the build pipeline (keying,
+	// radix sort, subtree construction); <= 0 means GOMAXPROCS. The built
+	// tree is bit-identical for every value.
+	Workers int
+	// Arena, when non-nil, supplies reusable build storage so per-step
+	// rebuilds stop allocating. Building invalidates any tree previously
+	// built from the same arena; an arena must not serve two builds
+	// concurrently.
+	Arena *Arena
+	// Obs, when non-nil, attaches observation at build time: phase
+	// histograms and counters, host-time build spans when tracing, and the
+	// walk instrumentation of SetObs.
+	Obs *obs.Obs
 }
 
 // BoundingCube returns a cube enclosing all positions, padded by 1e-6 of
@@ -129,60 +120,6 @@ func BoundingCube(pos []vec.V3) (lo vec.V3, size float64) {
 	return lo, size
 }
 
-// build recursively constructs the cell for k covering Bodies[lo:hi].
-func (t *Tree) build(k key.K, lo, hi int) *Cell {
-	c := &Cell{Key: k, N: hi - lo}
-	t.cells[k] = c
-	mustSplit := t.forceSplit != nil && t.forceSplit(k) && k.Level() < key.MaxLevel
-	if (hi-lo <= t.MaxLeaf || k.Level() >= key.MaxLevel) && !mustSplit {
-		c.Leaf = true
-		c.Lo, c.Hi = lo, hi
-		pos := make([]vec.V3, hi-lo)
-		mass := make([]float64, hi-lo)
-		for i := lo; i < hi; i++ {
-			pos[i-lo] = t.Bodies[i].Pos
-			mass[i-lo] = t.Bodies[i].Mass
-		}
-		c.Mp = gravity.FromBodies(pos, mass)
-		c.Bmax = maxDist(c.Mp.COM, pos)
-		return c
-	}
-	// Partition the sorted range by daughter key ranges.
-	start := lo
-	var parts []gravity.Multipole
-	for oct := 0; oct < 8; oct++ {
-		ck := k.Child(oct)
-		loKey, hiKey := ck.BodyKeyRange()
-		var end int
-		if hiKey <= loKey {
-			// The range's upper bound overflowed 64 bits: ck is the
-			// rightmost cell of its level, so it takes everything left.
-			end = hi
-		} else {
-			// end = first body with key >= hiKey
-			end = start + sort.Search(hi-start, func(i int) bool {
-				return t.Bodies[start+i].Key >= hiKey
-			})
-		}
-		if end > start {
-			child := t.build(ck, start, end)
-			c.ChildMask |= 1 << uint(oct)
-			parts = append(parts, child.Mp)
-		}
-		start = end
-	}
-	c.Mp = gravity.Combine(parts...)
-	// Bmax over all bodies below (exact, from the contiguous range).
-	bm := 0.0
-	for i := lo; i < hi; i++ {
-		if d := t.Bodies[i].Pos.Dist(c.Mp.COM); d > bm {
-			bm = d
-		}
-	}
-	c.Bmax = bm
-	return c
-}
-
 func maxDist(from vec.V3, pos []vec.V3) float64 {
 	m := 0.0
 	for _, p := range pos {
@@ -196,29 +133,36 @@ func maxDist(from vec.V3, pos []vec.V3) float64 {
 // Cell returns the cell stored under k, if any — the hash-table lookup at
 // the heart of the HOT scheme.
 func (t *Tree) Cell(k key.K) (*Cell, bool) {
-	c, ok := t.cells[k]
-	return c, ok
+	c := t.store.get(k)
+	return c, c != nil
 }
 
 // Root returns the root cell.
 func (t *Tree) Root() *Cell {
-	c, ok := t.cells[key.Root]
-	if !ok {
+	c := t.store.get(key.Root)
+	if c == nil {
 		panic("htree: tree has no root")
 	}
 	return c
 }
 
 // NumCells returns the number of cells in the hash table.
-func (t *Tree) NumCells() int { return len(t.cells) }
+func (t *Tree) NumCells() int { return len(t.store.cells) }
 
-// LeafBodies returns the bodies of a leaf cell as kernel sources.
+// LeafBodies returns the bodies of a leaf cell as kernel sources in a
+// freshly allocated slice the caller owns.
 func (t *Tree) LeafBodies(c *Cell) []gravity.Source {
-	src := make([]gravity.Source, 0, c.Hi-c.Lo)
+	return t.AppendLeafBodies(make([]gravity.Source, 0, c.Hi-c.Lo), c)
+}
+
+// AppendLeafBodies appends the bodies of a leaf cell to dst and returns the
+// extended slice — the allocation-free variant of LeafBodies for callers
+// with a reusable scratch buffer.
+func (t *Tree) AppendLeafBodies(dst []gravity.Source, c *Cell) []gravity.Source {
 	for i := c.Lo; i < c.Hi; i++ {
-		src = append(src, gravity.Source{Pos: t.Bodies[i].Pos, Mass: t.Bodies[i].Mass})
+		dst = append(dst, gravity.Source{Pos: t.Bodies[i].Pos, Mass: t.Bodies[i].Mass})
 	}
-	return src
+	return dst
 }
 
 // WalkStats counts the work of one force evaluation.
@@ -251,7 +195,7 @@ func (t *Tree) Accel(p vec.V3, theta, eps float64, useKarp bool) (vec.V3, float6
 	for len(stack) > 0 {
 		k := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		c := t.cells[k]
+		c := t.store.get(k)
 		d := p.Dist(c.Mp.COM)
 		if !c.Leaf && AcceptMAC(d, c.Bmax, theta) {
 			a, ph := c.Mp.AccelAt(p, eps)
@@ -312,20 +256,22 @@ func (t *Tree) AccelAll(theta, eps float64, useKarp bool) ([]vec.V3, []float64, 
 
 // CheckInvariants verifies structural invariants, returning the first
 // violation found: every body in exactly one leaf, leaf ranges partition
-// the body array, multipole masses match, and child masks are consistent
-// with the hash table.
+// the body array, multipole masses match, child masks are consistent with
+// the hash table, and every slab cell is reachable from the root.
 func (t *Tree) CheckInvariants() error {
 	root := t.Root()
 	if root.N != len(t.Bodies) {
 		return fmt.Errorf("root N = %d, want %d", root.N, len(t.Bodies))
 	}
 	covered := 0
+	visited := 0
 	var walk func(k key.K) error
 	walk = func(k key.K) error {
-		c, ok := t.cells[k]
+		c, ok := t.Cell(k)
 		if !ok {
 			return fmt.Errorf("missing cell %v", k)
 		}
+		visited++
 		if c.Leaf {
 			if c.Hi < c.Lo {
 				return fmt.Errorf("leaf %v inverted range", k)
@@ -342,8 +288,8 @@ func (t *Tree) CheckInvariants() error {
 		var mass float64
 		for oct := 0; oct < 8; oct++ {
 			has := c.ChildMask&(1<<uint(oct)) != 0
-			child, inMap := t.cells[k.Child(oct)]
-			if has != inMap {
+			child, inTab := t.Cell(k.Child(oct))
+			if has != inTab {
 				return fmt.Errorf("cell %v childmask/hash mismatch at octant %d", k, oct)
 			}
 			if has {
@@ -367,6 +313,9 @@ func (t *Tree) CheckInvariants() error {
 	}
 	if covered != len(t.Bodies) {
 		return fmt.Errorf("leaves cover %d of %d bodies", covered, len(t.Bodies))
+	}
+	if visited != t.NumCells() {
+		return fmt.Errorf("walk reached %d of %d stored cells", visited, t.NumCells())
 	}
 	return nil
 }

@@ -1,0 +1,136 @@
+package htree
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spacesim/internal/gravity"
+	"spacesim/internal/key"
+	"spacesim/internal/vec"
+)
+
+// BuildReference is the seed serial construction path, kept as the A/B
+// baseline for the treebuild benchmark and as the oracle for bit-identity
+// tests: one-at-a-time keying, a comparison sort, and a recursive build
+// that allocates one map entry per cell and fresh pos/mass slices per leaf.
+//
+// The one deviation from the original seed is the sort order: the seed used
+// an unstable key-only sort.Slice, which put coincident bodies (equal
+// Morton keys) in arbitrary order and perturbed leaf combine order. Both
+// this path and the pipeline order bodies by (Key, ID), so their trees —
+// and every derived float — are directly comparable bit for bit.
+//
+// Phases records keying/sorting/map-build as KeySec/SortSec/BuildSec; the
+// conversion of the cell map into the flat store (not part of the seed
+// algorithm, needed only so the returned Tree walks like any other) is
+// reported separately as MergeSec, letting the benchmark time the seed
+// algorithm alone as KeySec+SortSec+BuildSec.
+func BuildReference(pos []vec.V3, mass []float64, opt Options) (*Tree, error) {
+	if len(pos) != len(mass) {
+		return nil, fmt.Errorf("htree: %d positions but %d masses", len(pos), len(mass))
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("htree: empty body set")
+	}
+	if opt.MaxLeaf <= 0 {
+		opt.MaxLeaf = 8
+	}
+	lo, size := opt.BoxLo, opt.BoxSize
+	if size == 0 {
+		lo, size = BoundingCube(pos)
+	}
+	t := &Tree{
+		BoxLo:      lo,
+		BoxSize:    size,
+		MaxLeaf:    opt.MaxLeaf,
+		forceSplit: opt.ForceSplit,
+	}
+
+	t0 := time.Now()
+	t.Bodies = make([]Body, len(pos))
+	for i := range pos {
+		t.Bodies[i] = Body{Pos: pos[i], Mass: mass[i], Key: key.FromPosition(pos[i], lo, size), ID: i}
+	}
+	t1 := time.Now()
+	sort.Slice(t.Bodies, func(i, j int) bool {
+		a, b := &t.Bodies[i], &t.Bodies[j]
+		return a.Key < b.Key || (a.Key == b.Key && a.ID < b.ID)
+	})
+	t2 := time.Now()
+	cells := make(map[key.K]*Cell, 2*len(pos)/opt.MaxLeaf+16)
+	refBuild(t, cells, key.Root, 0, len(t.Bodies))
+	t3 := time.Now()
+
+	// Convert the cell map into the flat store, pre-order from the root so
+	// the slab meets leaves in body order (what Leaves relies on).
+	t.store.reset(len(cells))
+	var flatten func(k key.K)
+	flatten = func(k key.K) {
+		c := cells[k]
+		idx := int32(len(t.store.cells))
+		t.store.cells = append(t.store.cells, *c)
+		t.store.insert(idx)
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				flatten(k.Child(oct))
+			}
+		}
+	}
+	flatten(key.Root)
+	t4 := time.Now()
+
+	t.Phases = BuildPhases{
+		KeySec:   t1.Sub(t0).Seconds(),
+		SortSec:  t2.Sub(t1).Seconds(),
+		BuildSec: t3.Sub(t2).Seconds(),
+		MergeSec: t4.Sub(t3).Seconds(),
+	}
+	if opt.Obs != nil {
+		t.SetObs(opt.Obs)
+	}
+	return t, nil
+}
+
+// refBuild recursively constructs the cell for k covering Bodies[lo:hi] —
+// the seed algorithm, verbatim.
+func refBuild(t *Tree, cells map[key.K]*Cell, k key.K, lo, hi int) *Cell {
+	c := &Cell{Key: k, N: hi - lo}
+	cells[k] = c
+	if t.isLeafRange(k, lo, hi) {
+		c.Leaf = true
+		c.Lo, c.Hi = lo, hi
+		pos := make([]vec.V3, hi-lo)
+		mass := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			pos[i-lo] = t.Bodies[i].Pos
+			mass[i-lo] = t.Bodies[i].Mass
+		}
+		c.Mp = gravity.FromBodies(pos, mass)
+		c.Bmax = maxDist(c.Mp.COM, pos)
+		return c
+	}
+	// Partition the sorted range by daughter key ranges.
+	start := lo
+	var parts []gravity.Multipole
+	for oct := 0; oct < 8; oct++ {
+		ck := k.Child(oct)
+		end := t.childEnd(ck, start, hi)
+		if end > start {
+			child := refBuild(t, cells, ck, start, end)
+			c.ChildMask |= 1 << uint(oct)
+			parts = append(parts, child.Mp)
+		}
+		start = end
+	}
+	c.Mp = gravity.Combine(parts...)
+	// Bmax over all bodies below (exact, from the contiguous range).
+	bm := 0.0
+	for i := lo; i < hi; i++ {
+		if d := t.Bodies[i].Pos.Dist(c.Mp.COM); d > bm {
+			bm = d
+		}
+	}
+	c.Bmax = bm
+	return c
+}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"spacesim/internal/gravity"
 	"spacesim/internal/htree"
@@ -78,48 +77,64 @@ type Block struct {
 	Keys  []key.K
 }
 
+// CreateOptions configures store creation.
+type CreateOptions struct {
+	// BlockSize is the number of particles per on-disk block.
+	BlockSize int
+	// CacheCap bounds the resident block cache (minimum 2).
+	CacheCap int
+	// Workers bounds the host goroutines of the Morton-key radix sort
+	// (<= 0 means GOMAXPROCS); the on-disk layout is identical for any
+	// value.
+	Workers int
+}
+
 // Create builds a store from in-memory particles: sorts by Morton key,
 // splits into blocks of blockSize, and writes each block as a stripe file
 // in dir.
 func Create(dir string, pos []vec.V3, mass []float64, blockSize, cacheCap int) (*Store, error) {
+	return CreateWithOptions(dir, pos, mass, CreateOptions{BlockSize: blockSize, CacheCap: cacheCap})
+}
+
+// CreateWithOptions is Create with explicit layout and parallelism options.
+// The key sort is the stable parallel radix sort of the tree-build
+// pipeline, so coincident particles land on disk in input order.
+func CreateWithOptions(dir string, pos []vec.V3, mass []float64, opt CreateOptions) (*Store, error) {
 	if len(pos) == 0 || len(pos) != len(mass) {
 		return nil, fmt.Errorf("ooc: bad particle set (%d pos, %d mass)", len(pos), len(mass))
 	}
-	if blockSize <= 0 {
+	if opt.BlockSize <= 0 {
 		return nil, fmt.Errorf("ooc: block size must be positive")
 	}
 	lo, size := htree.BoundingCube(pos)
-	type rec struct {
-		k key.K
-		i int
-	}
-	recs := make([]rec, len(pos))
+	keys := make([]key.K, len(pos))
 	for i := range pos {
-		recs[i] = rec{key.FromPosition(pos[i], lo, size), i}
+		keys[i] = key.FromPosition(pos[i], lo, size)
 	}
-	sort.Slice(recs, func(a, b int) bool { return recs[a].k < recs[b].k })
+	var sorter key.Sorter
+	perm := sorter.SortPerm(keys, opt.Workers)
 
 	st := &Store{
-		Dir: dir, BlockSize: blockSize, N: len(pos),
+		Dir: dir, BlockSize: opt.BlockSize, N: len(pos),
 		BoxLo: lo, BoxSize: size,
-		cache: map[int]*Block{}, cacheCap: cacheCap,
+		cache: map[int]*Block{}, cacheCap: opt.CacheCap,
 	}
 	if st.cacheCap < 2 {
 		st.cacheCap = 2
 	}
-	for start := 0; start < len(recs); start += blockSize {
-		end := min(start+blockSize, len(recs))
+	for start := 0; start < len(perm); start += opt.BlockSize {
+		end := min(start+opt.BlockSize, len(perm))
 		data := make([]float64, 0, 6*(end-start))
-		for _, r := range recs[start:end] {
-			p := pos[r.i]
-			pair := keyToFloatPair(r.k)
-			data = append(data, p[0], p[1], p[2], mass[r.i], pair[0], pair[1])
+		for _, pi := range perm[start:end] {
+			p := pos[pi]
+			pair := keyToFloatPair(keys[pi])
+			data = append(data, p[0], p[1], p[2], mass[pi], pair[0], pair[1])
 		}
 		b := st.NumBlocks
 		if _, err := pario.WriteStripe(dir, "block", b, data); err != nil {
 			return nil, err
 		}
-		st.BlockLo = append(st.BlockLo, recs[start].k)
+		st.BlockLo = append(st.BlockLo, keys[perm[start]])
 		st.NumBlocks++
 	}
 	return st, nil

@@ -198,3 +198,44 @@ func TestKeyFloatPairRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCreateWorkersIdenticalLayout pins the parallel key sort's determinism
+// at the store level: the on-disk blocks must be byte-for-byte the same
+// for any worker count, duplicates included.
+func TestCreateWorkersIdenticalLayout(t *testing.T) {
+	pos, mass := randomSet(500, 6)
+	for i := 50; i < len(pos); i += 50 {
+		pos[i] = pos[i-1] // exact duplicates exercise key ties
+	}
+	load := func(workers int) []float64 {
+		st, err := CreateWithOptions(t.TempDir(), pos, mass, CreateOptions{
+			BlockSize: 64, CacheCap: 4, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for b := 0; b < st.NumBlocks; b++ {
+			blk, err := st.LoadBlock(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range blk.Pos {
+				all = append(all, blk.Pos[i][0], blk.Pos[i][1], blk.Pos[i][2], blk.Mass[i])
+			}
+		}
+		return all
+	}
+	want := load(1)
+	for _, w := range []int{2, 7} {
+		got := load(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d vs %d values", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: value %d differs: %v vs %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}

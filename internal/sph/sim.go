@@ -41,6 +41,10 @@ type Config struct {
 	GravTheta float64
 	// CFL is the timestep safety factor.
 	CFL float64
+	// Workers bounds the host goroutines of the gravity tree build and the
+	// grouped force walk (<= 0 means GOMAXPROCS). Results are bit-identical
+	// for any value.
+	Workers int
 }
 
 // DefaultConfig returns standard collapse-run parameters.
@@ -69,6 +73,10 @@ type Sim struct {
 	// maxDiffOverH2 is max_i D_i/h_i^2 from the last force evaluation,
 	// the explicit-diffusion stability bound.
 	maxDiffOverH2 float64
+
+	// arena holds the gravity tree's reusable build storage so per-step
+	// rebuilds stop allocating.
+	arena htree.Arena
 
 	// observation handles (no-ops until SetObs).
 	o      *obs.Obs
@@ -279,11 +287,13 @@ func (s *Sim) computeForces() {
 	}
 
 	// self-gravity via the hashed oct-tree
-	tr, err := htree.Build(p.Pos, p.Mass, htree.Options{MaxLeaf: 8})
+	tr, err := htree.Build(p.Pos, p.Mass, htree.Options{
+		MaxLeaf: 8, Workers: cfg.Workers, Arena: &s.arena, Obs: s.o,
+	})
 	if err != nil {
 		panic("sph: gravity tree: " + err.Error())
 	}
-	gacc, _, _ := tr.AccelAllGrouped(cfg.GravTheta, cfg.GravEps, false, 0)
+	gacc, _, _ := tr.AccelAllGrouped(cfg.GravTheta, cfg.GravEps, false, cfg.Workers)
 	for i := 0; i < n; i++ {
 		s.acc[i] = s.acc[i].Add(gacc[i])
 	}
@@ -366,11 +376,13 @@ func (d Diagnostics) Total() float64 {
 func (s *Sim) Diag() Diagnostics {
 	p := s.P
 	var d Diagnostics
-	tr, err := htree.Build(p.Pos, p.Mass, htree.Options{MaxLeaf: 8})
+	tr, err := htree.Build(p.Pos, p.Mass, htree.Options{
+		MaxLeaf: 8, Workers: s.Cfg.Workers, Arena: &s.arena, Obs: s.o,
+	})
 	if err != nil {
 		panic(err)
 	}
-	_, pot, _ := tr.AccelAllGrouped(0.3, s.Cfg.GravEps, false, 0)
+	_, pot, _ := tr.AccelAllGrouped(0.3, s.Cfg.GravEps, false, s.Cfg.Workers)
 	dense := make([]rhoi, p.N())
 	for i := 0; i < p.N(); i++ {
 		m := p.Mass[i]
@@ -411,8 +423,14 @@ type rhoi struct {
 	i   int
 }
 
+// sortByRho orders densest-first with ties broken by particle index: the
+// unstable rho-only sort let equal-density particles (common in uniform
+// shock-tube initial states) land in arbitrary order, making the
+// densest-decile diagnostic depend on sort internals.
 func sortByRho(xs []rhoi) {
-	sort.Slice(xs, func(a, b int) bool { return xs[a].rho > xs[b].rho })
+	sort.Slice(xs, func(a, b int) bool {
+		return xs[a].rho > xs[b].rho || (xs[a].rho == xs[b].rho && xs[a].i < xs[b].i)
+	})
 }
 
 func maxInt(a, b int) int {

@@ -252,3 +252,42 @@ func TestTimestepPositive(t *testing.T) {
 		t.Fatal("time must advance")
 	}
 }
+
+// sortByRho ties (equal densities are the norm in uniform initial states)
+// must come out in particle-index order, not sort-internal order, so the
+// densest-decile central-velocity diagnostic is deterministic.
+func TestSortByRhoStableTies(t *testing.T) {
+	xs := make([]rhoi, 40)
+	for i := range xs {
+		xs[i] = rhoi{rho: float64(3 - i%4), i: i}
+	}
+	sortByRho(xs)
+	for j := 1; j < len(xs); j++ {
+		a, b := xs[j-1], xs[j]
+		if a.rho < b.rho || (a.rho == b.rho && a.i > b.i) {
+			t.Fatalf("position %d: (%v,%d) before (%v,%d)", j, a.rho, a.i, b.rho, b.i)
+		}
+	}
+}
+
+// The gravity tree's Workers setting must not change a single bit of the
+// simulation state: run the same collapse with serial and parallel builds
+// and compare diagnostics exactly.
+func TestSimWorkersBitIdentical(t *testing.T) {
+	run := func(workers int) Diagnostics {
+		s := NewRotatingCollapse(RotatingCollapseOptions{
+			N: 400, Omega: 0.2, PressureDeficit: 0.6, Seed: 9,
+		})
+		s.Cfg.Workers = workers
+		for i := 0; i < 10; i++ {
+			s.Step()
+		}
+		return s.Diag()
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 7} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d diagnostics diverge:\n%+v\nvs\n%+v", w, got, want)
+		}
+	}
+}
