@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke ci all
 
 all: build test vet fmt-check
 
@@ -65,7 +65,17 @@ treebuild-smoke:
 	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-treebuild.json
 	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-treebuild.json /tmp/spacesim-smoke-treebuild.json
 
+# Engine-scaling smoke: a small rank-count sweep under both the goroutine
+# oracle and the discrete-event scheduler (the sweep itself verifies that
+# their virtual schedules are bit-identical and exits nonzero on
+# divergence), schema-validation of the v5 bench record, and a self-diff
+# through the bench arm of the perf gate.
+scale-smoke:
+	$(GO) run ./cmd/ssbench scale -quick -o /tmp/spacesim-smoke-scale.json
+	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-scale.json
+	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-scale.json /tmp/spacesim-smoke-scale.json
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
-# the observability + trace-analysis + fault-injection + tree-build smoke
-# runs.
-ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke
+# the observability + trace-analysis + fault-injection + tree-build +
+# engine-scaling smoke runs.
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke

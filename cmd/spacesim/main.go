@@ -32,6 +32,7 @@ import (
 	"spacesim/internal/core"
 	"spacesim/internal/faults"
 	"spacesim/internal/machine"
+	"spacesim/internal/mp"
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
@@ -60,8 +61,14 @@ func main() {
 		aOut    = flag.String("analysis", "ANALYSIS.json", "analysis report path (with -report)")
 		cpuProf = flag.String("cpuprofile", "", "write a host-side CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a host-side heap profile to this file on exit")
+		engine  = flag.String("engine", "goroutine", "rank runtime: goroutine (oracle) or event (discrete-event scheduler)")
+		engineW = flag.Int("engine-workers", 0, "event-engine worker pool size (0 = host cores; 1 = fully reproducible schedules)")
 	)
 	flag.Parse()
+	eng, err := mp.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -113,6 +120,7 @@ func main() {
 			Theta: *theta, Eps: *eps, DT: *dt, UseKarp: *karp,
 		},
 		GatherBodies: *ckpt != "" || *fSeed != 0,
+		Engine:       eng, EngineWorkers: *engineW,
 	}
 
 	var res core.Result

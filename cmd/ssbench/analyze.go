@@ -87,6 +87,8 @@ func diffCmd(args []string) {
 		"allowed absolute parallel-efficiency drop")
 	treebuildFrac := fs.Float64("treebuild-frac", 0.35,
 		"allowed relative tree-construction time increase (bench records)")
+	scaleFrac := fs.Float64("scale-frac", 0.5,
+		"allowed relative ranks/sec drop in the engine scaling sweep (bench records)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ssbench diff [flags] OLD.json NEW.json")
 		fs.PrintDefaults()
@@ -104,7 +106,21 @@ func diffCmd(args []string) {
 		os.Exit(2)
 	}
 	if oldBench {
-		diffTreebuild(fs.Arg(0), fs.Arg(1), *treebuildFrac)
+		oldRep, newRep := readGroupReport(fs.Arg(0)), readGroupReport(fs.Arg(1))
+		if newRep.Treebuild == nil && newRep.Scale == nil {
+			fmt.Fprintf(os.Stderr, "diff: %s has neither a treebuild nor a scale block (run `ssbench treebuild` or `ssbench scale`)\n", fs.Arg(1))
+			os.Exit(2)
+		}
+		ok := true
+		if newRep.Treebuild != nil {
+			ok = diffTreebuild(oldRep, newRep, fs.Arg(0), *treebuildFrac) && ok
+		}
+		if newRep.Scale != nil {
+			ok = diffScale(oldRep, newRep, fs.Arg(0), *scaleFrac) && ok
+		}
+		if !ok {
+			os.Exit(1)
+		}
 		return
 	}
 	oldR, err := analysis.ReadFile(fs.Arg(0))

@@ -59,6 +59,11 @@ type groupDistributed struct {
 //	    parallel-pipeline phase timings, speedups, and the bit-identity
 //	    verdict. Written by `ssbench treebuild`, which merges into an
 //	    existing record; the other blocks stay optional.
+//	5 — adds the engine scaling block (`scale`): the rank-count sweep of
+//	    the discrete-event scheduler against the goroutine oracle (host
+//	    wall-clock, peak RSS, ranks/sec, ranks/GB per configuration) and
+//	    its bit-identity verdict. Written by `ssbench scale`, which merges
+//	    like treebuild does.
 type groupReport struct {
 	SchemaVersion   int                  `json:"schema_version"`
 	N               int                  `json:"n"`
@@ -76,6 +81,7 @@ type groupReport struct {
 	Metrics         *obs.MetricsSnapshot `json:"metrics,omitempty"`
 	Analysis        *analysis.Summary    `json:"analysis,omitempty"`
 	Treebuild       *treebuildReport     `json:"treebuild,omitempty"`
+	Scale           *scaleReport         `json:"scale,omitempty"`
 }
 
 // groupBench times the per-body treewalk against the bucket-grouped one on a

@@ -67,6 +67,11 @@ func main() {
 		faultsweepCmd(args[1:])
 		return
 	}
+	// scale owns its flags too (sweep lists, child-mode re-exec knobs).
+	if args[0] == "scale" {
+		scaleCmd(args[1:])
+		return
+	}
 	// Flags are accepted after the experiment name too:
 	// ssbench group --trace=t.json --metrics=m.json
 	if len(args) > 1 {
@@ -123,8 +128,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|scale|switch|spec|reliability|moore|all>")
 	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json   (ANALYSIS.json or BENCH_treecode.json pairs)")
+	fmt.Fprintln(os.Stderr, "       ssbench scale [-quick] [-ranks 8,64,294] [-event-ranks 1024,2048] [-o BENCH_treecode.json]   (engine scaling sweep)")
 }
 
 // startProfiles begins host-side pprof capture when requested.

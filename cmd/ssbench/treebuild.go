@@ -188,36 +188,37 @@ func isBenchFile(path string) bool {
 	if _, ok := probe["results"]; ok {
 		return true
 	}
+	if _, ok := probe["scale"]; ok {
+		return true
+	}
 	_, ok := probe["treebuild"]
 	return ok
 }
 
-// diffTreebuild is the bench-record arm of `ssbench diff`: it compares the
-// treebuild blocks of two BENCH_treecode.json files and exits nonzero when
-// construction time regressed past frac at any worker count, or when the new
-// record is not bit-identical. Returns normally only on a pass.
-func diffTreebuild(oldPath, newPath string, frac float64) {
-	read := func(path string) groupReport {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "diff:", err)
-			os.Exit(2)
-		}
-		var rep groupReport
-		if err := json.Unmarshal(data, &rep); err != nil {
-			fmt.Fprintf(os.Stderr, "diff: %s: %v\n", path, err)
-			os.Exit(2)
-		}
-		return rep
-	}
-	oldRep, newRep := read(oldPath), read(newPath)
-	if newRep.Treebuild == nil {
-		fmt.Fprintf(os.Stderr, "diff: %s has no treebuild block (run `ssbench treebuild`)\n", newPath)
+// readGroupReport loads a BENCH_treecode.json record, exiting with the
+// diff usage code on unreadable input.
+func readGroupReport(path string) groupReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diff:", err)
 		os.Exit(2)
 	}
+	var rep groupReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "diff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return rep
+}
+
+// diffTreebuild is the treebuild arm of the bench-record diff: it compares
+// the treebuild blocks of two BENCH_treecode.json records and reports false
+// when construction time regressed past frac at any worker count, or when
+// the new record is not bit-identical.
+func diffTreebuild(oldRep, newRep groupReport, oldPath string, frac float64) bool {
 	if oldRep.Treebuild == nil {
 		fmt.Printf("treebuild: baseline %s has no treebuild block; nothing to compare\n", oldPath)
-		return
+		return true
 	}
 	ok := true
 	nb, ob := newRep.Treebuild, oldRep.Treebuild
@@ -251,10 +252,10 @@ func diffTreebuild(oldPath, newPath string, frac float64) {
 		fmt.Printf("  %-12s %9.2fms %9.2fms %7.2fx%s\n",
 			fmt.Sprintf("workers=%d", e.Workers), oe.Seconds*1e3, e.Seconds*1e3, r, verdict)
 	}
-	if !ok {
-		os.Exit(1)
+	if ok {
+		fmt.Println("treebuild: OK")
 	}
-	fmt.Println("treebuild: OK")
+	return ok
 }
 
 // ratioOf returns a/b guarding against a zero baseline.
@@ -281,7 +282,11 @@ func writeTreebuild(tb treebuildReport) {
 		rep.N, rep.MaxLeaf, rep.GOMAXPROCS = tb.N, tb.MaxLeaf, tb.GOMAXPROCS
 		rep.Theta, rep.Eps = 0.7, 0.01
 	}
-	rep.SchemaVersion = benchSchemaVersion
+	// Merge order must not downgrade the record: a v5 file (scale block
+	// present) keeps its version when only the treebuild block is refreshed.
+	if rep.SchemaVersion < benchSchemaVersion {
+		rep.SchemaVersion = benchSchemaVersion
+	}
 	rep.Treebuild = &tb
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spacesim/internal/mp"
+	"spacesim/internal/obs"
+)
+
+// The discrete-event scheduler must be observationally equivalent to the
+// goroutine oracle on the physics: an 8-rank treecode slice produces
+// bit-identical positions and velocities under either engine, at any worker
+// count, with tracing on or off. Virtual clocks are additionally pinned on
+// single-rank runs, where they are a pure function of the charged work; on
+// multi-rank runs the traversal's polling loops make the clock depend on
+// host-time arrival order in BOTH engines (see DESIGN.md on virtual-time
+// semantics), so only the numerics are compared there.
+func TestEngineBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	ics := PlummerSphere(rng, 800, 1.0)
+
+	run := func(procs int, engine mp.Engine, workers int, trace bool) Result {
+		cl := testCluster()
+		if trace {
+			cl = cl.WithObs(obs.New(true))
+		}
+		return Run(RunConfig{
+			Cluster: cl, Procs: procs, Steps: 2,
+			Opt:           Options{Theta: 0.6, Eps: 0.02, DT: 0.005},
+			GatherBodies:  true,
+			Engine:        engine,
+			EngineWorkers: workers,
+		}, ics)
+	}
+
+	for _, procs := range []int{1, 8} {
+		ref := run(procs, mp.EngineGoroutine, 0, false)
+		if ref.Err != nil {
+			t.Fatalf("procs=%d oracle: %v", procs, ref.Err)
+		}
+		for _, cfg := range []struct {
+			workers int
+			trace   bool
+		}{{0, false}, {1, false}, {2, true}} {
+			got := run(procs, mp.EngineEvent, cfg.workers, cfg.trace)
+			if got.Err != nil {
+				t.Fatalf("procs=%d workers=%d: %v", procs, cfg.workers, got.Err)
+			}
+			for i := range ref.Bodies {
+				if got.Bodies[i].Pos != ref.Bodies[i].Pos || got.Bodies[i].Vel != ref.Bodies[i].Vel {
+					t.Fatalf("procs=%d workers=%d trace=%v: body %d differs: %+v vs %+v",
+						procs, cfg.workers, cfg.trace, i, got.Bodies[i], ref.Bodies[i])
+				}
+			}
+			if procs == 1 {
+				for r := range ref.Comm.RankClocks {
+					if got.Comm.RankClocks[r] != ref.Comm.RankClocks[r] {
+						t.Fatalf("procs=1 workers=%d: rank %d clock %v, want %v",
+							cfg.workers, r, got.Comm.RankClocks[r], ref.Comm.RankClocks[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// A single-worker event engine serializes execution, which removes the one
+// source of nondeterminism the polling traversal has (host-time arrival
+// order): two identical runs must then agree on the complete virtual
+// schedule, not just the numerics. This is the engine's reproducible-run
+// mode, and the determinism rule DESIGN.md §12 documents.
+func TestEventEngineReproducibleSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ics := PlummerSphere(rng, 600, 1.0)
+	run := func() Result {
+		return Run(RunConfig{
+			Cluster: testCluster(), Procs: 8, Steps: 1,
+			Opt:           Options{Theta: 0.6, Eps: 0.02, DT: 0.005},
+			GatherBodies:  true,
+			Engine:        mp.EngineEvent,
+			EngineWorkers: 1,
+		}, ics)
+	}
+	a, b := run(), run()
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("errs: %v / %v", a.Err, b.Err)
+	}
+	if a.ElapsedVirtual != b.ElapsedVirtual {
+		t.Fatalf("makespans differ: %v vs %v", a.ElapsedVirtual, b.ElapsedVirtual)
+	}
+	for r := range a.Comm.RankClocks {
+		if a.Comm.RankClocks[r] != b.Comm.RankClocks[r] {
+			t.Fatalf("rank %d clock differs: %v vs %v", r, a.Comm.RankClocks[r], b.Comm.RankClocks[r])
+		}
+	}
+	for i := range a.Bodies {
+		if a.Bodies[i].Pos != b.Bodies[i].Pos {
+			t.Fatalf("body %d differs between identical runs", i)
+		}
+	}
+}
+
+// An armed fault plan must behave identically through the event loop: the
+// scheduled crash aborts the run with the same diagnostic under both
+// engines, and checkpoint-restart recovery still completes.
+func TestEngineFaultPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ics := PlummerSphere(rng, 400, 1.0)
+	for _, engine := range []mp.Engine{mp.EngineGoroutine, mp.EngineEvent} {
+		plan := mp.NewFaultPlan(4)
+		plan.Crash(2, 0.002, "PSU")
+		res := Run(RunConfig{
+			Cluster: testCluster(), Procs: 4, Steps: 3,
+			Opt:    Options{Theta: 0.6, Eps: 0.02, DT: 0.005},
+			Faults: plan,
+			Engine: engine,
+		}, ics)
+		var ce *mp.CrashError
+		if !errors.As(res.Err, &ce) || ce.Rank != 2 || ce.AtSec != 0.002 {
+			t.Fatalf("engine=%v: want rank-2 crash at 0.002, got %v", engine, res.Err)
+		}
+	}
+}

@@ -187,7 +187,11 @@ func (dt *DTree) computeForcesGrouped(bodies []Body) ([]vec.V3, []float64, Trave
 	for remaining > 0 {
 		if len(runnable) == 0 {
 			dt.abm.FlushAll()
-			dt.abm.Poll()
+			if dt.abm.Poll() == 0 {
+				// Hand the execution slot to the rank we are waiting on
+				// (required under the event engine's bounded worker pool).
+				dt.r.Yield()
+			}
 			continue
 		}
 		w := runnable[len(runnable)-1]

@@ -63,6 +63,18 @@ type RunConfig struct {
 	Faults *mp.FaultPlan
 	// Checkpoint enables periodic state stripes for crash recovery.
 	Checkpoint *CheckpointConfig
+	// Engine selects the message-layer runtime: the goroutine-per-rank
+	// oracle (default) or the discrete-event scheduler, which runs large
+	// worlds on a bounded worker pool. EngineWorkers sizes that pool
+	// (0 = host cores).
+	Engine        mp.Engine
+	EngineWorkers int
+}
+
+// runOptions maps the engine-related RunConfig knobs onto the message
+// layer's options (the fault plan rides along so restarts inherit it).
+func (cfg RunConfig) runOptions() mp.RunOptions {
+	return mp.RunOptions{Plan: cfg.Faults, Engine: cfg.Engine, Workers: cfg.EngineWorkers}
 }
 
 // segment describes where a run (re)starts: from the initial conditions
@@ -100,7 +112,7 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 		cp = nil
 	}
 
-	st := mp.RunWith(cfg.Cluster, cfg.Procs, mp.RunOptions{Plan: cfg.Faults}, func(r *mp.Rank) {
+	st := mp.RunWith(cfg.Cluster, cfg.Procs, cfg.runOptions(), func(r *mp.Rank) {
 		var local []Body
 
 		// Per-rank build arena: every step's tree rebuild reuses this

@@ -154,7 +154,11 @@ func (dt *DTree) computeForcesPerBody(bodies []Body) ([]vec.V3, []float64, Trave
 		if len(runnable) == 0 {
 			// Everyone is blocked on remote data: push batches out and poll.
 			dt.abm.FlushAll()
-			dt.abm.Poll()
+			if dt.abm.Poll() == 0 {
+				// Hand the execution slot to the rank we are waiting on
+				// (required under the event engine's bounded worker pool).
+				dt.r.Yield()
+			}
 			continue
 		}
 		w := runnable[len(runnable)-1]

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs"
 )
@@ -86,6 +88,24 @@ func SpaceSimulator(p netsim.Profile) Cluster {
 		Node:    SpaceSimulatorNode,
 		Net:     netsim.MustNew(netsim.SpaceSimulatorTopology(), p),
 		CostUSD: 483855,
+	}
+}
+
+// HypotheticalSpaceSimulator returns a scaled-up Space Simulator: the same
+// node hardware and library profile on a ScaledSpaceSimulatorTopology grown
+// to the given node count (294 and below returns the real machine). Cost
+// extrapolates the real per-node price. Used by scaling studies that run
+// worlds larger than the machine that was actually built.
+func HypotheticalSpaceSimulator(nodes int, p netsim.Profile) Cluster {
+	if nodes <= 294 {
+		return SpaceSimulator(p)
+	}
+	return Cluster{
+		Name:    fmt.Sprintf("Space Simulator (hypothetical %d-node)", nodes),
+		Nodes:   nodes,
+		Node:    SpaceSimulatorNode,
+		Net:     netsim.MustNew(netsim.ScaledSpaceSimulatorTopology(nodes), p),
+		CostUSD: 483855 / 294 * float64(nodes),
 	}
 }
 

@@ -13,8 +13,6 @@ package mp
 // is all the treecode needs.
 
 import (
-	"runtime"
-
 	"spacesim/internal/obs"
 )
 
@@ -189,7 +187,10 @@ func (a *ABM) Quiesce() {
 		a.FlushAll()
 		for len(a.pending) > 0 {
 			if a.Poll() == 0 {
-				runtime.Gosched()
+				// Under the event engine this hands the execution slot to a
+				// ready rank (the one whose reply we await may be parked
+				// behind us); under goroutines it is a host-scheduler yield.
+				a.r.yieldHost()
 			}
 		}
 		sums := a.pollingAllreduce3(float64(a.sent), float64(a.gotResp), float64(a.served))
@@ -224,7 +225,7 @@ func (a *ABM) pollingAllreduce3(x, y, z float64) [3]float64 {
 				return d.([]float64)
 			}
 			if a.Poll() == 0 {
-				runtime.Gosched()
+				a.r.yieldHost()
 			}
 		}
 	}

@@ -180,11 +180,10 @@ func (r *Rank) fireCrash(t float64) {
 	panic(rankAbort{})
 }
 
-// abort marks the world dead with the given cause and wakes every blocked
-// rank so it can unwind; skip is an inbox whose mutex the caller already
-// holds (-1 for none). Only the first abort wins; abort reports whether this
-// call was it.
-func (w *World) abort(err error, skip int) bool {
+// setAborted records the first abort cause and flips the aborted flag,
+// reporting whether this call won the race. Waking the blocked ranks is the
+// caller's (engine-specific) job.
+func (w *World) setAborted(err error) bool {
 	w.abortMu.Lock()
 	if w.aborted.Load() {
 		w.abortMu.Unlock()
@@ -193,6 +192,21 @@ func (w *World) abort(err error, skip int) bool {
 	w.abortErr = err
 	w.aborted.Store(true)
 	w.abortMu.Unlock()
+	return true
+}
+
+// abort marks the world dead with the given cause and wakes every blocked
+// rank so it can unwind; skip is an inbox whose mutex the caller already
+// holds (-1 for none). Only the first abort wins; abort reports whether this
+// call was it.
+func (w *World) abort(err error, skip int) bool {
+	if !w.setAborted(err) {
+		return false
+	}
+	if w.eng != nil {
+		w.eng.wakeAll()
+		return true
+	}
 	for i, ib := range w.boxes {
 		if i == skip {
 			continue

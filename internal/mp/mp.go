@@ -60,14 +60,18 @@ type message struct {
 	arrive   float64
 }
 
-// inbox is a rank's pending-message queue with MPI-style matching. seq
-// counts puts (read lock-free by the shutdown watchdog's quiescence check);
-// fireTimeout is set by the watchdog to wake the owner's RecvTimeout once
-// the world is provably idle.
+// inbox is a rank's pending-message queue with MPI-style matching. The
+// queue is a ring: live messages occupy q[head:], so consuming the oldest
+// match — the overwhelmingly common case, and the only case under AnySource
+// fan-in — advances head in O(1) instead of shifting the whole tail the way
+// `append(q[:i], q[i+1:]...)` did. seq counts puts (read lock-free by the
+// shutdown watchdog's quiescence check); fireTimeout is set by the watchdog
+// to wake the owner's RecvTimeout once the world is provably idle.
 type inbox struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	q           []message
+	head        int
 	seq         atomic.Uint64
 	fireTimeout bool
 }
@@ -78,23 +82,76 @@ func newInbox() *inbox {
 	return ib
 }
 
-func (ib *inbox) put(m message) {
-	ib.mu.Lock()
+// enqueue appends a message; caller holds mu.
+func (ib *inbox) enqueue(m message) {
 	ib.q = append(ib.q, m)
 	ib.seq.Add(1)
+}
+
+func (ib *inbox) put(m message) {
+	ib.mu.Lock()
+	ib.enqueue(m)
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
 }
+
+// scanMatch returns the physical index of the message a blocking receive
+// should take: the first match in queue order, or — when earliest is set
+// (RecvTimeout's virtual-deadline semantics) — the match with the earliest
+// virtual arrival. Returns -1 with no match queued. Caller holds mu.
+func (ib *inbox) scanMatch(src, tag int, earliest bool) int {
+	best := -1
+	for i := ib.head; i < len(ib.q); i++ {
+		m := &ib.q[i]
+		if (src != AnySource && m.src != src) || (tag != AnyTag && m.tag != tag) {
+			continue
+		}
+		if best < 0 || (earliest && m.arrive < ib.q[best].arrive) {
+			best = i
+		}
+		if !earliest {
+			break // plain Recv keeps queue order
+		}
+	}
+	return best
+}
+
+// removeAt deletes the message at physical index i, preserving queue order.
+// A front delete advances head in O(1); a middle delete (a selective
+// receive skipping newer arrivals) shifts only the prefix [head, i), which
+// front-biased matching keeps short. Caller holds mu.
+func (ib *inbox) removeAt(i int) {
+	if i > ib.head {
+		copy(ib.q[ib.head+1:i+1], ib.q[ib.head:i])
+	}
+	ib.q[ib.head] = message{} // drop the payload reference for GC
+	ib.head++
+	if ib.head == len(ib.q) {
+		ib.q = ib.q[:0]
+		ib.head = 0
+	} else if ib.head >= 64 && ib.head*2 >= len(ib.q) {
+		// Reclaim the dead prefix once it dominates the backing array.
+		n := copy(ib.q, ib.q[ib.head:])
+		clearTail := ib.q[n:]
+		for j := range clearTail {
+			clearTail[j] = message{}
+		}
+		ib.q = ib.q[:n]
+		ib.head = 0
+	}
+}
+
+// pending returns the number of queued messages; caller holds mu.
+func (ib *inbox) pending() int { return len(ib.q) - ib.head }
 
 // tryTake is take without blocking; ok reports whether a match existed.
 func (ib *inbox) tryTake(src, tag int) (message, bool) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	for i, m := range ib.q {
-		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
-			ib.q = append(ib.q[:i], ib.q[i+1:]...)
-			return m, true
-		}
+	if i := ib.scanMatch(src, tag, false); i >= 0 {
+		m := ib.q[i]
+		ib.removeAt(i)
+		return m, true
 	}
 	return message{}, false
 }
@@ -147,6 +204,10 @@ type World struct {
 	// random-permutation load, used by dense collectives (alltoall).
 	congestedOnce sync.Once
 	congestedBps  float64
+
+	// eng is the discrete-event scheduler when the run uses EngineEvent;
+	// nil under the goroutine runtime.
+	eng *eventEngine
 }
 
 // Stats summarizes a completed run.
@@ -184,18 +245,63 @@ func Run(cluster machine.Cluster, nprocs int, fn func(r *Rank)) Stats {
 	return RunWith(cluster, nprocs, RunOptions{}, fn)
 }
 
-// RunOptions configures fault injection for one run.
+// Engine selects the rank-execution runtime for one run. Both engines
+// produce the same virtual schedule — virtual clocks are a pure function of
+// the message-causality DAG, never of host scheduling — so the goroutine
+// runtime doubles as the bit-identity oracle for the event scheduler.
+type Engine int
+
+const (
+	// EngineGoroutine runs every rank as a free goroutine with per-inbox
+	// condition-variable handoffs and the O(active) shutdown watchdog. The
+	// original runtime, retained as the oracle.
+	EngineGoroutine Engine = iota
+	// EngineEvent runs ranks as resumable tasks on a worker pool sized to
+	// host cores; message delivery goes through a per-world event heap
+	// keyed by virtual arrival time, and quiescence (deadlock/timeout
+	// resolution) is detected in O(1) when the heap and ready queue drain.
+	EngineEvent
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineGoroutine:
+		return "goroutine"
+	case EngineEvent:
+		return "event"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps the command-line names onto an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "goroutine", "":
+		return EngineGoroutine, nil
+	case "event":
+		return EngineEvent, nil
+	}
+	return 0, fmt.Errorf("mp: unknown engine %q (want goroutine or event)", s)
+}
+
+// RunOptions configures fault injection and the execution engine for one run.
 type RunOptions struct {
 	// Plan schedules rank crashes in virtual time; nil injects nothing.
 	// Link/port degradation rides on the cluster's network health
 	// (netsim.Network.WithHealth), not here.
 	Plan *FaultPlan
+	// Engine selects the rank-execution runtime; the zero value is the
+	// goroutine oracle.
+	Engine Engine
+	// Workers bounds the event engine's concurrently-executing ranks;
+	// <= 0 means min(GOMAXPROCS, nprocs). Ignored by EngineGoroutine.
+	Workers int
 }
 
-// RunWith is Run with fault injection. When the run aborts — an injected
-// crash, or the shutdown watchdog detecting a world-wide deadlock — the
-// returned Stats carry the cause in Err and each rank's clock at death;
-// the process itself always survives.
+// RunWith is Run with options. When the run aborts — an injected crash, or
+// the shutdown watchdog detecting a world-wide deadlock — the returned
+// Stats carry the cause in Err and each rank's clock at death; the process
+// itself always survives.
 func RunWith(cluster machine.Cluster, nprocs int, opt RunOptions, fn func(r *Rank)) Stats {
 	if nprocs <= 0 {
 		panic("mp: nprocs must be positive")
@@ -212,28 +318,27 @@ func RunWith(cluster machine.Cluster, nprocs int, opt RunOptions, fn func(r *Ran
 	}
 	w.initObs()
 	clocks := make([]float64, nprocs)
-	var wg sync.WaitGroup
-	wg.Add(nprocs)
-	for i := 0; i < nprocs; i++ {
+	ranks := make([]*Rank, nprocs)
+	for i := range ranks {
 		r := &Rank{id: i, w: w, rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
 		r.obs = w.obs.Rank(i)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				e := recover()
-				clocks[r.id] = r.clock
-				r.obs.M.Clock = r.clock
-				w.rankDone()
-				if e != nil {
-					if _, ok := e.(rankAbort); !ok {
-						panic(e) // real bug, not a world abort
-					}
-				}
-			}()
-			fn(r)
-		}()
+		ranks[i] = r
 	}
-	wg.Wait()
+	if opt.Engine == EngineEvent {
+		w.eng = newEventEngine(w, ranks, opt.Workers)
+		w.eng.run(fn, clocks)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(nprocs)
+		for _, r := range ranks {
+			r := r
+			go func() {
+				defer wg.Done()
+				w.rankMain(r, fn, clocks, w.rankDone)
+			}()
+		}
+		wg.Wait()
+	}
 	st := Stats{
 		RankClocks: clocks,
 		Messages:   w.totalMsgs, Bytes: w.totalBytes,
@@ -247,6 +352,36 @@ func RunWith(cluster machine.Cluster, nprocs int, opt RunOptions, fn func(r *Ran
 		}
 	}
 	return st
+}
+
+// rankMain is the body of one rank under either engine: it runs fn,
+// recovers the rankAbort unwind, records the rank's final clock, and calls
+// the engine-specific exit hook (watchdog retirement or task completion).
+func (w *World) rankMain(r *Rank, fn func(r *Rank), clocks []float64, exit func()) {
+	defer func() {
+		e := recover()
+		clocks[r.id] = r.clock
+		r.obs.M.Clock = r.clock
+		exit()
+		if e != nil {
+			if _, ok := e.(rankAbort); !ok {
+				panic(e) // real bug, not a world abort
+			}
+		}
+	}()
+	fn(r)
+}
+
+// put delivers a message into dst's inbox under the run's engine: the
+// goroutine runtime broadcasts the inbox condition variable; the event
+// engine instead pushes a wake event (keyed by virtual arrival) when — and
+// only when — the destination task is parked on a matching receive.
+func (w *World) put(dst int, m message) {
+	if w.eng == nil {
+		w.boxes[dst].put(m)
+		return
+	}
+	w.eng.put(dst, m)
 }
 
 // initObs resolves the run's observation handle (the cluster's, or a fresh
@@ -479,7 +614,7 @@ func (r *Rank) sendAt(dst, tag int, data any, bytes int64, congested bool) {
 		xfer = net.TransferTimeAt(r.id, dst, bytes, t0)
 	}
 	m := message{src: r.id, tag: tag, data: data, bytes: bytes, sent: t0, arrive: r.clock + xfer}
-	r.w.boxes[dst].put(m)
+	r.w.put(dst, m)
 	r.observeSend(dst, bytes, t0, m.arrive)
 }
 

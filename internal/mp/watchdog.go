@@ -183,8 +183,12 @@ func matchMsg(m message, src, tag int) bool {
 // picks the earliest virtual arrival, reports a timeout (leaving the message
 // queued) when that arrival is past the deadline, and reports a timeout when
 // the watchdog proves no message can ever come. It panics rankAbort when the
-// world aborts.
+// world aborts. Under the event engine the parking and quiescence logic
+// lives in the scheduler instead of the per-inbox condition variable.
 func (r *Rank) takeBlocking(src, tag int, deadline float64) (message, bool) {
+	if r.w.eng != nil {
+		return r.takeBlockingEvent(src, tag, deadline)
+	}
 	w := r.w
 	ib := w.boxes[r.id]
 	finite := !math.IsInf(deadline, 1)
@@ -200,24 +204,12 @@ func (r *Rank) takeBlocking(src, tag int, deadline float64) (message, bool) {
 		if w.aborted.Load() {
 			panic(rankAbort{})
 		}
-		best := -1
-		for i := range ib.q {
-			if !matchMsg(ib.q[i], src, tag) {
-				continue
-			}
-			if best < 0 || (finite && ib.q[i].arrive < ib.q[best].arrive) {
-				best = i
-			}
-			if !finite {
-				break // plain Recv keeps queue order
-			}
-		}
-		if best >= 0 {
+		if best := ib.scanMatch(src, tag, finite); best >= 0 {
 			m := ib.q[best]
 			if m.arrive > deadline {
 				return message{}, true
 			}
-			ib.q = append(ib.q[:best], ib.q[best+1:]...)
+			ib.removeAt(best)
 			return m, false
 		}
 		if ib.fireTimeout {

@@ -54,6 +54,27 @@ func SpaceSimulatorTopology() Topology {
 	}
 }
 
+// ScaledSpaceSimulatorTopology returns a hypothetical enlargement of the
+// Space Simulator fabric to the given node count: the same 16-port module
+// design, module interconnect, and trunk, with switch A grown to hold
+// roughly half the modules so both chassis stay in use. It models "what if
+// the machine kept its architecture but grew" for scaling studies beyond
+// the real 294 nodes.
+func ScaledSpaceSimulatorTopology(nodes int) Topology {
+	t := SpaceSimulatorTopology()
+	if nodes <= t.Nodes {
+		return t
+	}
+	t.Nodes = nodes
+	modules := (nodes + t.PortsPerModule - 1) / t.PortsPerModule
+	// Keep the real machine's 15-module FastIron 1500 as switch A until the
+	// second chassis fills past it, then split the modules evenly.
+	if modules > 2*t.ModulesSwitchA {
+		t.ModulesSwitchA = (modules + 1) / 2
+	}
+	return t
+}
+
 // LokiTopology returns Loki's two 8-port Fast Ethernet switches (Table 7).
 func LokiTopology() Topology {
 	return Topology{
