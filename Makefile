@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ci all
 
 all: build test vet fmt-check
 
@@ -13,7 +13,7 @@ test:
 # Race-detector pass over the packages with host concurrency (the grouped
 # force engine's worker pool and the rank goroutines).
 race:
-	$(GO) test -race ./internal/core/... ./internal/gravity/... ./internal/htree/... ./internal/mp/...
+	$(GO) test -race ./internal/core/... ./internal/gravity/... ./internal/htree/... ./internal/mp/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
@@ -75,7 +75,27 @@ scale-smoke:
 	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-scale.json
 	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-scale.json /tmp/spacesim-smoke-scale.json
 
+# Live-telemetry smoke: a run served over -http is probed while in flight
+# (Prometheus exposition, the progress/ETA JSON, and a 1-second CPU profile
+# from net/http/pprof), then the analysis report and the quick group bench
+# record — both carrying the sampler's final series dump — are
+# schema-validated, live block included.
+live-smoke:
+	$(GO) build -o /tmp/spacesim-live ./cmd/spacesim
+	/tmp/spacesim-live -n 6000 -procs 4 -steps 7 -http 127.0.0.1:17071 \
+		-report -analysis /tmp/spacesim-smoke-live.json >/tmp/spacesim-smoke-live.log & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:17071/progress.json >/dev/null; then up=1; break; fi; sleep 0.1; done; \
+	[ $$up = 1 ] || { echo "live-smoke: server never came up"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://127.0.0.1:17071/metrics | grep -q "# TYPE" || { echo "live-smoke: /metrics"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://127.0.0.1:17071/progress.json | grep -q '"state"' || { echo "live-smoke: /progress.json"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf -o /tmp/spacesim-smoke-live.pprof "http://127.0.0.1:17071/debug/pprof/profile?seconds=1" || { echo "live-smoke: pprof"; kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+	$(GO) run ./cmd/tracecheck -analysis /tmp/spacesim-smoke-live.json
+	$(GO) run ./cmd/ssbench -quick -http 127.0.0.1:17072 -sample-every 20ms group -o /tmp/spacesim-smoke-live-bench.json
+	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-live-bench.json
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
 # the observability + trace-analysis + fault-injection + tree-build +
-# engine-scaling smoke runs.
-ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke
+# engine-scaling + live-telemetry smoke runs.
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke

@@ -11,6 +11,13 @@
 //	         [-trace trace.json] [-metrics metrics.json]
 //	         [-report] [-analysis ANALYSIS.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-http 127.0.0.1:8080] [-sample-every 250ms]
+//
+// With -http, a live-telemetry server runs for the duration: /metrics
+// (Prometheus text), /metrics.json, /series.json (sampled time series),
+// /progress.json (step fraction, rate, ETA), and /debug/pprof/. With
+// -report, the sampler's final series dump lands in the ANALYSIS.json
+// "live" block.
 //
 // With -faults, a seeded fault schedule (drawn from the paper's Section 2.1
 // hazard rates, accelerated by -fault-accel) is injected into the run:
@@ -28,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"spacesim/internal/core"
 	"spacesim/internal/faults"
@@ -36,6 +44,7 @@ import (
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/live"
 	"spacesim/internal/pario"
 )
 
@@ -63,6 +72,8 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a host-side heap profile to this file on exit")
 		engine  = flag.String("engine", "goroutine", "rank runtime: goroutine (oracle) or event (discrete-event scheduler)")
 		engineW = flag.Int("engine-workers", 0, "event-engine worker pool size (0 = host cores; 1 = fully reproducible schedules)")
+		httpA   = flag.String("http", "", "serve live telemetry (metrics, progress, series, pprof) on this address during the run")
+		sampleE = flag.Duration("sample-every", 250*time.Millisecond, "live sampler cadence (with -http)")
 	)
 	flag.Parse()
 	eng, err := mp.ParseEngine(*engine)
@@ -105,14 +116,31 @@ func main() {
 		log.Fatalf("unknown initial condition %q", *ic)
 	}
 
+	// Live telemetry: a background sampler snapshots the metrics registry
+	// into ring-buffer series, served over HTTP during the run. newObs
+	// re-points the sampler whenever the fault path starts a fresh
+	// observation segment, so the series stay continuous across restarts.
+	var sampler *live.Sampler
 	newObs := func() *obs.Obs {
 		o := obs.New(*trace != "")
 		if *report {
 			o.EnableEvents()
 		}
+		sampler.SetObs(o)
 		return o
 	}
 	o := newObs()
+	if *httpA != "" {
+		sampler = live.NewSampler(o, live.Config{Every: *sampleE})
+		sampler.Start()
+		defer sampler.Stop()
+		srv, err := live.Serve(*httpA, sampler)
+		if err != nil {
+			log.Fatalf("http: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("live telemetry: http://%s/ (metrics, progress.json, series.json, debug/pprof)\n", srv.Addr())
+	}
 	cl := machine.SpaceSimulator(netsim.ProfileLAM).WithObs(o)
 	cfg := core.RunConfig{
 		Cluster: cl, Procs: *procs, Steps: *steps,
@@ -159,12 +187,18 @@ func main() {
 		fmt.Printf("  checkpoint: %s (%d bodies)\n", path, len(res.Bodies))
 	}
 
+	// Stop sampling (taking the final sample) before the report is built so
+	// the ANALYSIS.json live block carries the end state. Idempotent with
+	// the deferred Stop.
+	sampler.Stop()
+
 	if *report {
 		rep, err := analysis.Analyze(o, cl, analysis.Options{})
 		if err != nil {
 			log.Fatalf("report: %v", err)
 		}
 		rep.Faults = faultRep
+		rep.Live = sampler.Dump()
 		fmt.Println()
 		fmt.Print(rep.Render())
 		if *aOut != "" {

@@ -14,6 +14,7 @@ import (
 	"spacesim/internal/htree"
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/live"
 	"spacesim/internal/vec"
 )
 
@@ -64,6 +65,10 @@ type groupDistributed struct {
 //	    wall-clock, peak RSS, ranks/sec, ranks/GB per configuration) and
 //	    its bit-identity verdict. Written by `ssbench scale`, which merges
 //	    like treebuild does.
+//	6 — adds the live-telemetry block (`live`): the time-series sampler's
+//	    retained window (host/virtual time columns plus one ring per
+//	    metric) and the final progress/ETA view. Written by any experiment
+//	    run with -http / live sampling enabled.
 type groupReport struct {
 	SchemaVersion   int                  `json:"schema_version"`
 	N               int                  `json:"n"`
@@ -82,6 +87,7 @@ type groupReport struct {
 	Analysis        *analysis.Summary    `json:"analysis,omitempty"`
 	Treebuild       *treebuildReport     `json:"treebuild,omitempty"`
 	Scale           *scaleReport         `json:"scale,omitempty"`
+	Live            *live.Dump           `json:"live,omitempty"`
 }
 
 // groupBench times the per-body treewalk against the bucket-grouped one on a
@@ -211,6 +217,10 @@ func groupBench() {
 		RmsDiffW1:       rms,
 		MaxPotDiffRel:   maxPot,
 		NsPerInterRatio: (tP / float64(interP)) / (t1 / float64(inter1)),
+	}
+	if d := liveDump(); d != nil {
+		rep.Live = d
+		rep.SchemaVersion = 6
 	}
 
 	fmt.Printf("bucket-grouped treewalk, Plummer N=%d, theta=%.2f, leaf=%d (best of %d)\n", n, theta, maxLeaf, reps)

@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"spacesim/internal/cluster"
 	"spacesim/internal/core"
@@ -30,6 +31,7 @@ import (
 	"spacesim/internal/netsim"
 	"spacesim/internal/npb"
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/live"
 	"spacesim/internal/pario"
 	"spacesim/internal/perfmodel"
 	"spacesim/internal/reliability"
@@ -38,50 +40,80 @@ import (
 )
 
 var (
-	quick      = flag.Bool("quick", false, "shrink the simulated workloads for a fast pass")
-	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (enables the tracer)")
-	metricsOut = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
-	cpuProfile = flag.String("cpuprofile", "", "write a host-side CPU profile to this file")
-	memProfile = flag.String("memprofile", "", "write a host-side heap profile to this file on exit")
+	quick       = flag.Bool("quick", false, "shrink the simulated workloads for a fast pass")
+	traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (enables the tracer)")
+	metricsOut  = flag.String("metrics", "", "write a metrics snapshot JSON file of the run")
+	cpuProfile  = flag.String("cpuprofile", "", "write a host-side CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write a host-side heap profile to this file on exit")
+	httpAddr    = flag.String("http", "", "serve live telemetry (/metrics, /progress.json, /debug/pprof/) on this address during the run")
+	sampleEvery = flag.Duration("sample-every", 250*time.Millisecond, "live-telemetry sampling period (with -http, or to embed a live block in the bench record)")
 )
 
 // runObs observes every cluster run of the invocation (see ssCluster); the
 // tracer is attached only when -trace is set.
 var runObs *obs.Obs
 
+// liveSampler/liveServer are non-nil while -http live telemetry is on; the
+// sampler snapshots runObs and the bench record embeds its final dump.
+var (
+	liveSampler *live.Sampler
+	liveServer  *live.Server
+)
+
+// ownFlagCmds are the subcommands that own their argument parsing
+// (positional file arguments or private flag sets), so the global
+// after-the-experiment-name re-parse must leave their arguments alone.
+var ownFlagCmds = map[string]bool{"diff": true, "faultsweep": true, "scale": true}
+
+// parseInvocation parses an ssbench argument vector (without the program
+// name) against fs. Global flags are accepted both before and after the
+// experiment name — `ssbench -http :0 group` and `ssbench group -http :0`
+// are equivalent — except for ownFlagCmds, whose trailing arguments are
+// returned unparsed. Returns the experiment name ("" when absent) and the
+// positional arguments that follow it.
+func parseInvocation(fs *flag.FlagSet, argv []string) (string, []string, error) {
+	if err := fs.Parse(argv); err != nil {
+		return "", nil, err
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		return "", nil, nil
+	}
+	cmd := args[0]
+	if ownFlagCmds[cmd] {
+		return cmd, args[1:], nil
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return cmd, nil, err
+	}
+	return cmd, fs.Args(), nil
+}
+
 func main() {
-	flag.Parse()
-	args := flag.Args()
-	if len(args) < 1 {
+	cmd, rest, err := parseInvocation(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if cmd == "" {
 		usage()
 		os.Exit(2)
 	}
-	// diff takes positional file arguments and its own threshold flags, so
-	// it bypasses the global re-parse below.
-	if args[0] == "diff" {
-		diffCmd(args[1:])
+	switch cmd {
+	case "diff":
+		diffCmd(rest)
 		return
-	}
-	// faultsweep likewise owns its flags (seed, accel, output path).
-	if args[0] == "faultsweep" {
-		faultsweepCmd(args[1:])
+	case "faultsweep":
+		faultsweepCmd(rest)
 		return
-	}
-	// scale owns its flags too (sweep lists, child-mode re-exec knobs).
-	if args[0] == "scale" {
-		scaleCmd(args[1:])
+	case "scale":
+		scaleCmd(rest)
 		return
-	}
-	// Flags are accepted after the experiment name too:
-	// ssbench group --trace=t.json --metrics=m.json
-	if len(args) > 1 {
-		if err := flag.CommandLine.Parse(args[1:]); err != nil {
-			os.Exit(2)
-		}
 	}
 	runObs = obs.New(*traceOut != "")
+	startLive()
 	defer writeObs()
 	defer stopProfiles()
+	defer stopLive()
 	startProfiles()
 	cmds := map[string]func(){
 		"table1":      table1,
@@ -106,7 +138,7 @@ func main() {
 		"reliability": reliabilityReport,
 		"moore":       moore,
 	}
-	if args[0] == "all" {
+	if cmd == "all" {
 		names := make([]string, 0, len(cmds))
 		for n := range cmds {
 			names = append(names, n)
@@ -118,9 +150,9 @@ func main() {
 		}
 		return
 	}
-	fn, ok := cmds[args[0]]
+	fn, ok := cmds[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", args[0])
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
 		usage()
 		os.Exit(2)
 	}
@@ -128,9 +160,45 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|scale|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-http ADDR] [-sample-every DUR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|scale|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "       (global flags are accepted before or after the experiment name)")
 	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json   (ANALYSIS.json or BENCH_treecode.json pairs)")
 	fmt.Fprintln(os.Stderr, "       ssbench scale [-quick] [-ranks 8,64,294] [-event-ranks 1024,2048] [-o BENCH_treecode.json]   (engine scaling sweep)")
+}
+
+// startLive starts the live-telemetry sampler over runObs and, when -http
+// is set, the exposition server. Without -http no sampler runs and the
+// bench record carries no live block.
+func startLive() {
+	if *httpAddr == "" {
+		return
+	}
+	liveSampler = live.NewSampler(runObs, live.Config{Every: *sampleEvery})
+	liveSampler.Start()
+	srv, err := live.Serve(*httpAddr, liveSampler)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "http:", err)
+		os.Exit(1)
+	}
+	liveServer = srv
+	fmt.Printf("live telemetry on http://%s/ (metrics, progress.json, debug/pprof)\n", srv.Addr())
+}
+
+// stopLive tears the live-telemetry pipeline down (final sample included).
+func stopLive() {
+	liveSampler.Stop()
+	liveServer.Close()
+}
+
+// liveDump takes a final sample and returns the sampler's retained series,
+// or nil when live telemetry is off — callers embed it as a bench-record
+// `live` block.
+func liveDump() *live.Dump {
+	if liveSampler == nil {
+		return nil
+	}
+	liveSampler.SampleNow()
+	return liveSampler.Dump()
 }
 
 // startProfiles begins host-side pprof capture when requested.

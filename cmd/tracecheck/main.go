@@ -16,6 +16,7 @@ import (
 
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/live"
 )
 
 func main() {
@@ -249,12 +250,76 @@ func checkAnalysis(path string) bool {
 			return fail(path, "faults: recovery verification recorded a divergent state")
 		}
 	}
+	if rep.Live != nil && !checkLive(path, rep.Live) {
+		return false
+	}
 	faultsNote := ""
 	if rep.Faults != nil {
 		faultsNote = fmt.Sprintf(", %d crash(es) recovered", rep.Faults.Crashes)
 	}
+	if rep.Live != nil {
+		faultsNote += fmt.Sprintf(", live block (%d samples, %d series)", rep.Live.Samples, len(rep.Live.Series))
+	}
 	fmt.Printf("tracecheck: %s ok: schema v%d, %d ranks, makespan %.6gs, %d path segments, %d phases, %d links%s\n",
 		path, rep.SchemaVersion, rep.Ranks, rep.MakespanSec, len(cp.Segments), len(rep.Phases), len(rep.Links), faultsNote)
+	return true
+}
+
+// checkLive validates a live-telemetry block (shared by ANALYSIS.json and
+// BENCH_treecode.json): the sampler must have ticked, the retained host
+// and virtual time columns must be monotone and equally long, every series
+// ring must be in lockstep with them, and the final progress view must be
+// internally consistent (fraction in [0,1], nonnegative counts, ETA either
+// unknown (-1) or nonnegative).
+func checkLive(path string, d *live.Dump) bool {
+	if d.SchemaVersion < 1 {
+		return fail(path, "live: schema_version %d < 1", d.SchemaVersion)
+	}
+	if d.Samples <= 0 {
+		return fail(path, "live: %d samples, want > 0", d.Samples)
+	}
+	if d.SampleEverySec <= 0 {
+		return fail(path, "live: sample_every_sec %g, want > 0", d.SampleEverySec)
+	}
+	if d.Capacity <= 0 {
+		return fail(path, "live: capacity %d, want > 0", d.Capacity)
+	}
+	n := len(d.HostSec)
+	if n == 0 || n > d.Capacity {
+		return fail(path, "live: %d retained samples outside (0, capacity %d]", n, d.Capacity)
+	}
+	if len(d.VirtualSec) != n {
+		return fail(path, "live: virtual_sec has %d samples, host_sec has %d", len(d.VirtualSec), n)
+	}
+	for i := 1; i < n; i++ {
+		if d.HostSec[i] < d.HostSec[i-1] {
+			return fail(path, "live: host_sec not monotone at sample %d (%g < %g)", i, d.HostSec[i], d.HostSec[i-1])
+		}
+		if d.VirtualSec[i] < d.VirtualSec[i-1] {
+			return fail(path, "live: virtual_sec not monotone at sample %d (%g < %g)", i, d.VirtualSec[i], d.VirtualSec[i-1])
+		}
+	}
+	for _, s := range d.Series {
+		if s.Name == "" {
+			return fail(path, "live: series with empty name")
+		}
+		if len(s.Values) != n {
+			return fail(path, "live: series %s has %d samples, time columns have %d", s.Name, len(s.Values), n)
+		}
+	}
+	p := d.Progress
+	if p.StepFraction < 0 || p.StepFraction > 1 {
+		return fail(path, "live: step_fraction %g outside [0, 1]", p.StepFraction)
+	}
+	if p.StepsDone < 0 || p.StepsTotal < 0 || p.VirtualSec < 0 || p.HostSec < 0 {
+		return fail(path, "live: negative progress measurement %+v", p)
+	}
+	if p.Checkpoints < 0 || p.Recoveries < 0 {
+		return fail(path, "live: negative checkpoint/recovery counts %+v", p)
+	}
+	if p.ETASec < 0 && p.ETASec != -1 {
+		return fail(path, "live: eta_sec %g, want -1 (unknown) or >= 0", p.ETASec)
+	}
 	return true
 }
 
@@ -363,9 +428,11 @@ func (p benchPhases) nonneg() bool {
 
 // checkBench validates BENCH_treecode.json. Records at schema_version >= 3
 // with an engine comparison must embed both the metrics snapshot and the
-// trace-analysis summary; records at schema_version >= 4 must carry at
-// least one benchmark block, and records at >= 5 must carry a valid engine
-// scaling (scale) block. A record may hold only the treebuild or scale
+// trace-analysis summary. The schema version is the max over the optional
+// blocks present (see the groupReport history): exactly 4 requires the
+// treebuild block, exactly 5 the engine-scaling (scale) block, and >= 6
+// the live-telemetry (live) block, which is validated by checkLive
+// wherever it appears. A record may hold only the treebuild or scale
 // block (written by `ssbench treebuild`/`ssbench scale` without a prior
 // `group` run), in which case the engine-comparison requirements do not
 // apply.
@@ -409,6 +476,7 @@ func checkBench(path string) bool {
 				RanksPerGB   float64 `json:"ranks_per_gb"`
 			} `json:"entries"`
 		} `json:"scale"`
+		Live *live.Dump `json:"live"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fail(path, "not valid bench JSON: %v", err)
@@ -422,8 +490,14 @@ func checkBench(path string) bool {
 	if rep.SchemaVersion == 4 && rep.Treebuild == nil {
 		return fail(path, "schema v%d record without a treebuild block", rep.SchemaVersion)
 	}
-	if rep.SchemaVersion >= 5 && rep.Scale == nil {
+	if rep.SchemaVersion == 5 && rep.Scale == nil {
 		return fail(path, "schema v%d record without a scale block", rep.SchemaVersion)
+	}
+	if rep.SchemaVersion >= 6 && rep.Live == nil {
+		return fail(path, "schema v%d record without a live block", rep.SchemaVersion)
+	}
+	if rep.Live != nil && !checkLive(path, rep.Live) {
+		return false
 	}
 	if sc := rep.Scale; sc != nil {
 		if len(sc.Entries) == 0 {
@@ -526,6 +600,9 @@ func checkBench(path string) bool {
 	if rep.Scale != nil {
 		tbNote += fmt.Sprintf(", scale %d entries (max event world %d ranks)",
 			len(rep.Scale.Entries), rep.Scale.MaxEventRanks)
+	}
+	if rep.Live != nil {
+		tbNote += fmt.Sprintf(", live block (%d samples, %d series)", rep.Live.Samples, len(rep.Live.Series))
 	}
 	fmt.Printf("tracecheck: %s ok: schema v%d, n=%d, %d results, metrics=%v, analysis=%v%s\n",
 		path, rep.SchemaVersion, rep.N, len(rep.Results), rep.Metrics != nil, rep.Analysis != nil, tbNote)

@@ -18,9 +18,12 @@ package core
 // of the order in which fetch replies happened to arrive.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -98,6 +101,10 @@ func (dt *DTree) newEvalPool(workers int) *evalPool {
 				fmt.Sprintf("rank %d worker %d", dt.r.ID(), i))
 		}
 		go func() {
+			// Host CPU profiles attribute these workers to the force
+			// evaluation of their owning rank (see mp/labels.go).
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(
+				"engine", "core-eval", "rank", strconv.Itoa(dt.r.ID()), "phase", "eval")))
 			for f := range p.jobs {
 				t0 := time.Now()
 				var h0 float64

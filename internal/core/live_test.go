@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"spacesim/internal/obs"
+	"spacesim/internal/obs/live"
+)
+
+// TestSamplerBitIdentical is the live-telemetry determinism guard: a run
+// observed by a fast-ticking background Sampler (and its progress
+// publisher) must produce bit-identical state to the unobserved run, at
+// both Workers=1 and Workers=4 — sampling reads the registry from a host
+// goroutine and must never perturb virtual time or evaluation order.
+func TestSamplerBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ics := PlummerSphere(rng, 600, 1.0)
+
+	run := func(procs, workers int, sample bool) Result {
+		cl := testCluster()
+		o := obs.New(false)
+		cl = cl.WithObs(o)
+		var s *live.Sampler
+		if sample {
+			s = live.NewSampler(o, live.Config{Every: time.Millisecond})
+			s.Start()
+		}
+		res := Run(RunConfig{
+			Cluster: cl, Procs: procs, Steps: 2,
+			Opt:          Options{Theta: 0.6, Eps: 0.02, DT: 0.005, Workers: workers},
+			GatherBodies: true,
+		}, ics)
+		if sample {
+			s.Stop()
+			d := s.Dump()
+			if d.Samples < 1 {
+				t.Fatalf("procs=%d workers=%d: sampler took no samples", procs, workers)
+			}
+			if d.Progress.State != "done" {
+				t.Fatalf("procs=%d workers=%d: final progress state %q, want done",
+					procs, workers, d.Progress.State)
+			}
+			if d.Progress.StepFraction != 1 {
+				t.Fatalf("procs=%d workers=%d: final step fraction %v, want 1",
+					procs, workers, d.Progress.StepFraction)
+			}
+		}
+		return res
+	}
+
+	for _, procs := range []int{1, 3} {
+		ref := run(procs, 1, false)
+		if len(ref.Bodies) != 600 {
+			t.Fatalf("procs=%d: gathered %d bodies, want 600", procs, len(ref.Bodies))
+		}
+		for _, workers := range []int{1, 4} {
+			got := run(procs, workers, true)
+			for i := range ref.Bodies {
+				if got.Bodies[i].Pos != ref.Bodies[i].Pos || got.Bodies[i].Vel != ref.Bodies[i].Vel {
+					t.Fatalf("procs=%d workers=%d sampled: body %d differs: %+v vs %+v",
+						procs, workers, i, got.Bodies[i], ref.Bodies[i])
+				}
+			}
+			// Rank clocks are only comparable on a single rank: with
+			// several, the congestion model sees the host-time send
+			// interleaving, so clocks vary run to run even unobserved
+			// (same caveat as TestTracingBitIdentical).
+			if procs == 1 {
+				for r := range ref.Comm.RankClocks {
+					if got.Comm.RankClocks[r] != ref.Comm.RankClocks[r] {
+						t.Fatalf("procs=%d workers=%d sampled: rank %d clock %v, want %v",
+							procs, workers, r, got.Comm.RankClocks[r], ref.Comm.RankClocks[r])
+					}
+				}
+			}
+		}
+	}
+}

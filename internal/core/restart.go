@@ -99,6 +99,20 @@ func RunRecovered(cfg RecoveryConfig, ics []Body) (Result, RecoveryStats, error)
 		if cfg.NewObs != nil {
 			rc.Cluster.Obs = cfg.NewObs(st.Attempts)
 		}
+		if st.Crashes > 0 {
+			// Publish recovery state before the segment starts so a live
+			// sampler pointed at the fresh Obs sees it; with a per-segment
+			// registry the cumulative crash count is republished.
+			p := rc.Cluster.Obs.Progress()
+			p.State("recovering")
+			if cfg.NewObs != nil {
+				for i := 0; i < st.Crashes; i++ {
+					p.Recovery()
+				}
+			} else {
+				p.Recovery()
+			}
+		}
 		var diskFaults []int
 		if cfg.Injector != nil {
 			rc.Faults = cfg.Injector.PlanAt(offset)

@@ -7,6 +7,7 @@ import (
 	"spacesim/internal/htree"
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
+	"spacesim/internal/obs"
 	"spacesim/internal/vec"
 )
 
@@ -115,6 +116,20 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 	st := mp.RunWith(cfg.Cluster, cfg.Procs, cfg.runOptions(), func(r *mp.Rank) {
 		var local []Body
 
+		// Rank 0 publishes run progress into the metrics registry (all
+		// publisher methods are nil-safe, so other ranks call through a nil
+		// handle). Gauges fold with Max, so a rollback replaying steps
+		// never moves the externally visible fraction backwards.
+		var prog *obs.Progress
+		if r.ID() == 0 {
+			prog = r.WorldObs().Progress()
+			prog.SetTotal(cfg.Steps)
+			prog.State("running")
+			if seg.startStep > 0 {
+				prog.StepDone(seg.startStep, r.Clock())
+			}
+		}
+
 		// Per-rank build arena: every step's tree rebuild reuses this
 		// rank's key/body/cell storage instead of re-allocating. Arenas are
 		// exclusive state, so each rank goroutine gets its own (any arena
@@ -155,6 +170,7 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 			r.ChargeDisk(float64(len(seg.restore[r.ID()]) * 8))
 		} else {
 			// Block scatter of the initial conditions.
+			prog.Phase("init-eval")
 			n, p := len(ics), r.Size()
 			lo, hi := n*r.ID()/p, n*(r.ID()+1)/p
 			local = append([]Body(nil), ics[lo:hi]...)
@@ -166,6 +182,7 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 		}
 
 		for s := seg.startStep; s < cfg.Steps; s++ {
+			prog.Phase("step")
 			endStep := r.Span("phase", "step")
 			// kick half, drift
 			for i := range local {
@@ -185,18 +202,22 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 			endStep()
 			if r.ID() == 0 {
 				completed = s + 1
+				prog.StepDone(s+1, r.Clock())
 			}
 			if cp != nil && (s+1)%cp.Every == 0 && s+1 < cfg.Steps {
+				prog.Phase("checkpoint")
 				t0 := r.Clock()
 				writeCheckpoint(r, cp, s+1, local, acc)
 				if r.ID() == 0 {
 					ckWrites++
 					ckClocks[s+1] = r.Clock()
 					ckSec += r.Clock() - t0
+					prog.Checkpoint()
 				}
 			}
 		}
 
+		prog.Phase("gather")
 		if cfg.GatherBodies {
 			parts := r.AllgatherAny(local, int64(len(local)*bodyWireBytes))
 			if r.ID() == 0 {
@@ -209,6 +230,13 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 			}
 		}
 	})
+
+	if p := st.Obs.Progress(); st.Err == nil {
+		p.Phase("done")
+		p.State("done")
+	} else {
+		p.State("crashed")
+	}
 
 	res.EnergyHistory = energyAt
 	res.Interactions = totalInts

@@ -6,6 +6,7 @@ import (
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
 	"spacesim/internal/netsim"
+	"spacesim/internal/obs"
 )
 
 // dgemmEff is the fraction of node peak a tuned BLAS-3 update sustains
@@ -64,6 +65,14 @@ func RunParallelWith(cluster machine.Cluster, nprocs, n, nb int, seed int64, opt
 		}
 
 		nPanels := n / nb
+		// Rank 0 publishes per-panel progress (nil handle on other ranks).
+		var prog *obs.Progress
+		if me == 0 {
+			prog = r.WorldObs().Progress()
+			prog.SetTotal(nPanels)
+			prog.State("running")
+			prog.Phase("factor")
+		}
 		allPivots := make([]int, n)
 		for pk := 0; pk < nPanels; pk++ {
 			k0 := pk * nb
@@ -163,9 +172,11 @@ func RunParallelWith(cluster machine.Cluster, nprocs, n, nb int, seed int64, opt
 				r.Charge(flops, dgemmEff, float64(8*updated*rows))
 			}
 			endUpdate()
+			prog.StepDone(pk+1, r.Clock())
 		}
 
 		// gather factored columns onto rank 0 and verify there
+		prog.Phase("verify")
 		gathered := r.Gather(0, flatten(cols))
 		if me == 0 {
 			lu := &Matrix{N: n, A: make([]float64, n*n)}
@@ -182,6 +193,7 @@ func RunParallelWith(cluster machine.Cluster, nprocs, n, nb int, seed int64, opt
 			fresh, _ := NewRandom(n, seed)
 			resid = Residual(fresh, x, bvec)
 		}
+		prog.State("done")
 	})
 	res.Residual = resid
 	res.ElapsedVirtual = st.ElapsedVirtual

@@ -1,9 +1,11 @@
 package htree
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -218,6 +220,11 @@ func Build(pos []vec.V3, mass []float64, opt Options) (*Tree, error) {
 		for w := 0; w < nw; w++ {
 			go func(w int) {
 				defer wg.Done()
+				// Host CPU profiles attribute construction workers to the
+				// tree-build phase (labels, like all observation, never
+				// touch virtual time).
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("engine", "tree-build", "phase", "tree-construct")))
 				work(w)
 			}(w)
 		}

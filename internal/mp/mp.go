@@ -18,6 +18,7 @@
 package mp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -369,6 +370,7 @@ func (w *World) rankMain(r *Rank, fn func(r *Rank), clocks []float64, exit func(
 			}
 		}
 	}()
+	defer r.applyLabels()()
 	fn(r)
 }
 
@@ -474,6 +476,10 @@ type Rank struct {
 	collDepth int
 	// msgSeq numbers this rank's sends for async trace slice ids.
 	msgSeq int64
+	// labelCtx is the current pprof label set on the rank's goroutine
+	// (rank/engine base labels plus the innermost Span's phase overlay);
+	// owned by the rank's goroutine, see labels.go.
+	labelCtx context.Context
 }
 
 // Obs returns the rank's observation handle: per-rank metric accumulators
@@ -493,11 +499,15 @@ func (r *Rank) WorldObs() *obs.Obs { return r.w.obs }
 //
 // The span is purely observational; it reads the clock at both ends.
 func (r *Rank) Span(cat, name string) func() {
+	unlabel := r.labelPhase(name)
 	if !r.obs.Observing() {
-		return func() {}
+		return unlabel
 	}
 	t0 := r.clock
-	return func() { r.obs.Span(cat, name, t0, r.clock) }
+	return func() {
+		r.obs.Span(cat, name, t0, r.clock)
+		unlabel()
+	}
 }
 
 // collective brackets one collective operation: the outermost level records

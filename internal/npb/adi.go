@@ -5,6 +5,7 @@ import (
 
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
+	"spacesim/internal/obs"
 )
 
 // RunADI executes the BT/SP-style pseudo-application: an alternating
@@ -109,6 +110,11 @@ func adiEvolve(r *mp.Rank, bench Benchmark, class Class, u []float64, g, iters i
 	acctChunk := int64(8 * acctPtsPerRank / float64(p) * overlap)
 	const lambda = 0.4 // dt/dx^2
 
+	var prog *obs.Progress
+	if r.ID() == 0 {
+		prog = r.WorldObs().Progress()
+		prog.SetTotal(iters)
+	}
 	for it := 0; it < iters; it++ {
 		endIter := r.Span("npb", "adi-iter")
 		// x and y direction implicit solves: local to the slab
@@ -129,6 +135,7 @@ func adiEvolve(r *mp.Rank, bench Benchmark, class Class, u []float64, g, iters i
 		r.Charge(acctPtsPerRank*den.flopsPerPt/3, den.eff, acctPtsPerRank*den.bytesPerPt/3)
 		transposeXZ(r, tr, u, g, nz, acctChunk)
 		endIter()
+		prog.StepDone(it+1, r.Clock())
 	}
 }
 

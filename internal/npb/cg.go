@@ -8,6 +8,7 @@ import (
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
 	"spacesim/internal/netsim"
+	"spacesim/internal/obs"
 )
 
 func lamProfile() netsim.Profile { return netsim.ProfileLAM }
@@ -54,6 +55,11 @@ func RunCG(cluster machine.Cluster, procs int, class Class, actualGrid int, opt 
 		rr := dotAll(r, rv, rv)
 		bb := rr
 		iters := miniIters
+		var prog *obs.Progress
+		if r.ID() == 0 {
+			prog = r.WorldObs().Progress()
+			prog.SetTotal(iters)
+		}
 		for it := 0; it < iters; it++ {
 			endIter := r.Span("npb", "cg-iter")
 			ap := f.applyLaplacian(r, p, haloBytes)
@@ -75,6 +81,7 @@ func RunCG(cluster machine.Cluster, procs int, class Class, actualGrid int, opt 
 				p[i] = rv[i] + beta*p[i]
 			}
 			endIter()
+			prog.StepDone(it+1, r.Clock())
 		}
 		if r.ID() == 0 {
 			rel := math.Sqrt(rr / bb)

@@ -48,6 +48,12 @@ func RunWith(b Benchmark, cluster machine.Cluster, procs int, className string, 
 		return Result{}, fmt.Errorf("npb: %s has no class %q", b, className)
 	}
 	actual := ActualSize(b, procs)
+	// Publish which kernel is running so live progress identifies the
+	// workload (per-iteration steps are published inside each kernel).
+	if p := cluster.Obs.Progress(); p != nil {
+		p.Phase(string(b))
+		p.State("running")
+	}
 	switch b {
 	case CG:
 		return RunCG(cluster, procs, class, actual, opt), nil

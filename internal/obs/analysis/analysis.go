@@ -28,10 +28,14 @@ import (
 
 	"spacesim/internal/machine"
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/live"
 )
 
 // SchemaVersion stamps ANALYSIS.json.
-const SchemaVersion = 1
+//
+//	1 — critical path, phases, links, histograms, rank metrics, faults
+//	2 — adds the optional live block (sampler series dump + progress)
+const SchemaVersion = 2
 
 // Critical-path segment categories.
 const (
@@ -89,6 +93,12 @@ type Report struct {
 	// attached by the driver (the telemetry Analyze consumes covers only
 	// the completing segment).
 	Faults *FaultSummary `json:"faults,omitempty"`
+
+	// Live is the live-telemetry sampler's final series dump (ring-buffer
+	// time series + progress view), attached by the driver when the run
+	// was sampled (-http / -sample-every); nil otherwise. The live view
+	// and the post-mortem artifact are the same data.
+	Live *live.Dump `json:"live,omitempty"`
 }
 
 // FaultSummary is the fault-injection and recovery record of a run

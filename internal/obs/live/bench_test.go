@@ -1,0 +1,109 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spacesim/internal/obs"
+)
+
+// populate registers a workload-shaped metric set: a few dozen counters and
+// gauges plus latency histograms, roughly what a treecode run publishes.
+func populate(o *obs.Obs) {
+	for i := 0; i < 24; i++ {
+		o.Reg.Counter(fmt.Sprintf("bench.counter.%02d", i)).Add(int64(i))
+		o.Reg.Gauge(fmt.Sprintf("bench.gauge.%02d", i)).Max(float64(i))
+	}
+	for i := 0; i < 8; i++ {
+		h := o.Reg.Histogram(fmt.Sprintf("bench.hist.%02d", i))
+		for j := 1; j <= 64; j++ {
+			h.Observe(float64(j) * 1e-4)
+		}
+	}
+	o.Progress().SetTotal(100)
+	o.Progress().StepDone(42, 3.14)
+}
+
+// TestSampleSteadyStateZeroAlloc pins the acceptance criterion: after the
+// first sample resolves the series list, the per-tick sample path performs
+// no allocation.
+func TestSampleSteadyStateZeroAlloc(t *testing.T) {
+	o := obs.New(false)
+	populate(o)
+	s := NewSampler(o, Config{Capacity: 256})
+	s.SampleNow() // first tick allocates (resync)
+	if n := testing.AllocsPerRun(200, s.SampleNow); n != 0 {
+		t.Fatalf("steady-state sample allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkSampleSteadyState(b *testing.B) {
+	o := obs.New(false)
+	populate(o)
+	s := NewSampler(o, Config{Capacity: 1024})
+	s.SampleNow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleNow()
+	}
+}
+
+// TestSamplerRace hammers Start/Stop/SetObs/Dump/Progress against
+// concurrent metric updates; meaningful under -race (make race).
+func TestSamplerRace(t *testing.T) {
+	o := obs.New(false)
+	c := o.Reg.Counter("race.counter")
+	g := o.Reg.Gauge("race.gauge")
+	h := o.Reg.Histogram("race.hist")
+	s := NewSampler(o, Config{Every: 100 * time.Microsecond, Capacity: 64})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Max(float64(i))
+				h.Observe(float64(i%100) * 1e-3)
+				if i%251 == 0 {
+					// Mid-run metric creation forces sampler resyncs.
+					o.Reg.Counter(fmt.Sprintf("race.late.%d.%d", w, i)).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		alt := obs.New(false)
+		for i := 0; i < 50; i++ {
+			s.Start()
+			time.Sleep(200 * time.Microsecond)
+			if i%2 == 0 {
+				s.SetObs(alt)
+			} else {
+				s.SetObs(o)
+			}
+			_ = s.Dump()
+			_ = s.Progress()
+			s.Stop()
+		}
+	}()
+	time.Sleep(25 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s.Stop()
+	if s.Samples() == 0 {
+		t.Fatal("sampler never sampled")
+	}
+}

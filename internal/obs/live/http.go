@@ -1,0 +1,175 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Handler returns the live-telemetry HTTP handler over s:
+//
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                histogram summaries with p50/p95/p99, text metrics as
+//	                labeled info gauges)
+//	/metrics.json   typed obs.MetricsSnapshot
+//	/series.json    ring-buffer time series (the Dump shape)
+//	/progress.json  run progress: step fraction, rate, ETA
+//	/debug/pprof/   net/http/pprof (profile, heap, trace, ...)
+//
+// All endpoints are read-only and safe while a run is in flight.
+func Handler(s *Sampler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, s)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		o := s.obs.Load()
+		if o == nil {
+			http.Error(w, "no observation attached", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, o.Snapshot())
+	})
+	mux.HandleFunc("/series.json", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Dump())
+	})
+	mux.HandleFunc("/progress.json", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Progress())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "spacesim live telemetry\n\n/metrics\n/metrics.json\n/series.json\n/progress.json\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// promName sanitizes a dotted metric name into the Prometheus name
+// alphabet, prefixed so the exposition namespaces cleanly.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("spacesim_"))
+	b.WriteString("spacesim_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9' && i > 0, c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writePrometheus renders the current registry in the text exposition
+// format (sorted by name — deterministic output).
+func writePrometheus(w http.ResponseWriter, s *Sampler) {
+	o := s.obs.Load()
+	if o == nil || o.Reg == nil {
+		return
+	}
+	snap := o.Snapshot()
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", pn, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", pn, h.P95)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", pn, h.P99)
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+	}
+
+	names = names[:0]
+	for n := range snap.Texts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(snap.Texts[n])
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s{value=%q} 1\n", pn, pn, v)
+	}
+}
+
+// Server is a running live-telemetry HTTP server.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	closed atomic.Bool
+}
+
+// Serve starts an HTTP server for s on addr (host:port; port 0 picks a
+// free port) and returns once the listener is bound. The server runs until
+// Close.
+func Serve(addr string, s *Sampler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(s)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down. Idempotent.
+func (s *Server) Close() error {
+	if s == nil || !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -28,7 +28,8 @@ import (
 //
 //	1 — counters, gauges, per-rank breakdowns
 //	2 — adds histograms (message latency, collective sizes, list lengths)
-const MetricsSchemaVersion = 2
+//	3 — adds text metrics (progress phase/state strings)
+const MetricsSchemaVersion = 3
 
 // Counter is a monotonically accumulating int64 metric.
 type Counter struct{ v atomic.Int64 }
@@ -94,6 +95,29 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Text is a string metric holding a last-writer-wins status value (current
+// phase, run state). Like the numeric metrics it is safe for concurrent use
+// and a no-op on a nil receiver; unlike them it is not order-independent —
+// treat it as a status register, not an aggregate.
+type Text struct{ v atomic.Value }
+
+// Set stores s as the current value.
+func (t *Text) Set(s string) {
+	if t == nil {
+		return
+	}
+	t.v.Store(s)
+}
+
+// Value returns the current value ("" before the first Set).
+func (t *Text) Value() string {
+	if t == nil {
+		return ""
+	}
+	s, _ := t.v.Load().(string)
+	return s
+}
+
 // Registry is a named set of counters and gauges. Lookup is get-or-create;
 // callers hold the returned pointer for hot paths.
 type Registry struct {
@@ -101,6 +125,11 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	texts      map[string]*Text
+	// gen counts metric creations. A reader holding resolved handles can
+	// compare generations to learn whether a (re)enumeration is needed
+	// without taking the lock — the live sampler's steady-state fast path.
+	gen atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -109,6 +138,49 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		texts:      map[string]*Text{},
+	}
+}
+
+// Gen returns the metric-creation generation: it changes exactly when a new
+// metric name is created, so a cached enumeration is valid while Gen is
+// stable. Safe on a nil registry.
+func (r *Registry) Gen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen.Load()
+}
+
+// Visit calls the non-nil callbacks for every registered metric while
+// holding the registry lock. Iteration order is unspecified (map order);
+// callers needing determinism sort what they collect. Safe on a nil
+// registry.
+func (r *Registry) Visit(counter func(string, *Counter), gauge func(string, *Gauge), hist func(string, *Histogram), text func(string, *Text)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if counter != nil {
+		for n, c := range r.counters {
+			counter(n, c)
+		}
+	}
+	if gauge != nil {
+		for n, g := range r.gauges {
+			gauge(n, g)
+		}
+	}
+	if hist != nil {
+		for n, h := range r.histograms {
+			hist(n, h)
+		}
+	}
+	if text != nil {
+		for n, t := range r.texts {
+			text(n, t)
+		}
 	}
 }
 
@@ -124,6 +196,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.gen.Add(1)
 	}
 	return c
 }
@@ -140,6 +213,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.gen.Add(1)
 	}
 	return g
 }
@@ -156,8 +230,43 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		h = NewHistogram()
 		r.histograms[name] = h
+		r.gen.Add(1)
 	}
 	return h
+}
+
+// Text returns the named text metric, creating it on first use. Safe on a
+// nil registry (returns a nil Text whose methods are no-ops).
+func (r *Registry) Text(name string) *Text {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.texts[name]
+	if !ok {
+		t = &Text{}
+		r.texts[name] = t
+		r.gen.Add(1)
+	}
+	return t
+}
+
+// TextSnapshots returns the current value of every text metric that has
+// been set.
+func (r *Registry) TextSnapshots() map[string]string {
+	out := map[string]string{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, t := range r.texts {
+		if s := t.Value(); s != "" {
+			out[n] = s
+		}
+	}
+	return out
 }
 
 // Snapshot returns the current values of every metric, sorted by name via
@@ -230,6 +339,8 @@ type Obs struct {
 
 	mu    sync.Mutex
 	ranks []*RankObs
+
+	progress progressOnce
 }
 
 // New returns an Obs with metrics enabled and, if trace is set, a tracer.
@@ -283,6 +394,7 @@ type MetricsSnapshot struct {
 	Counters      map[string]int64             `json:"counters"`
 	Gauges        map[string]float64           `json:"gauges"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Texts         map[string]string            `json:"texts,omitempty"`
 	Ranks         []RankMetrics                `json:"ranks"`
 }
 
@@ -294,6 +406,7 @@ func (o *Obs) Snapshot() MetricsSnapshot {
 		Counters:      c,
 		Gauges:        g,
 		Histograms:    o.Reg.HistogramSnapshots(),
+		Texts:         o.Reg.TextSnapshots(),
 		Ranks:         o.RankMetrics(),
 	}
 }

@@ -149,3 +149,94 @@ func TestTraceJSONShape(t *testing.T) {
 		t.Fatal("virtual seconds were not converted to microseconds")
 	}
 }
+
+func TestTextAndGen(t *testing.T) {
+	var nilR *Registry
+	if nilR.Text("x") != nil {
+		t.Fatal("nil registry Text should be nil")
+	}
+	var nilT *Text
+	nilT.Set("a") // must not panic
+	if nilT.Value() != "" {
+		t.Fatal("nil Text.Value")
+	}
+
+	r := NewRegistry()
+	g0 := r.Gen()
+	r.Counter("c")
+	r.Gauge("g")
+	r.Histogram("h")
+	tx := r.Text("t")
+	if r.Gen() != g0+4 {
+		t.Fatalf("gen after 4 creations: %d -> %d", g0, r.Gen())
+	}
+	// Lookups of existing metrics do not bump the generation.
+	g1 := r.Gen()
+	r.Counter("c")
+	r.Text("t")
+	if r.Gen() != g1 {
+		t.Fatal("lookup bumped gen")
+	}
+	tx.Set("phase-1")
+	tx.Set("phase-2")
+	if tx.Value() != "phase-2" {
+		t.Fatalf("text = %q", tx.Value())
+	}
+	if got := r.TextSnapshots(); got["t"] != "phase-2" {
+		t.Fatalf("TextSnapshots = %v", got)
+	}
+
+	var nc, ng, nh, nt int
+	r.Visit(
+		func(string, *Counter) { nc++ },
+		func(string, *Gauge) { ng++ },
+		func(string, *Histogram) { nh++ },
+		func(string, *Text) { nt++ },
+	)
+	if nc != 1 || ng != 1 || nh != 1 || nt != 1 {
+		t.Fatalf("visit counts: %d %d %d %d", nc, ng, nh, nt)
+	}
+	nilR.Visit(nil, nil, nil, nil) // nil registry is a no-op
+}
+
+func TestProgressPublisher(t *testing.T) {
+	var nilP *Progress
+	nilP.SetTotal(5)
+	nilP.StepDone(1, 0.1)
+	nilP.Phase("x")
+	nilP.State("y")
+	nilP.Checkpoint()
+	nilP.Recovery()
+
+	var nilO *Obs
+	if nilO.Progress() != nil {
+		t.Fatal("nil Obs.Progress should be nil")
+	}
+
+	o := New(false)
+	p := o.Progress()
+	if p == nil || p != o.Progress() {
+		t.Fatal("Progress not cached")
+	}
+	p.SetTotal(10)
+	p.StepDone(3, 1.5)
+	p.StepDone(2, 1.0) // rollback: published values must not regress
+	p.Phase("step")
+	p.State("running")
+	p.Checkpoint()
+	p.Recovery()
+	_, gauges := o.Reg.Snapshot()
+	if gauges[ProgressStepsTotal] != 10 || gauges[ProgressStepsDone] != 3 || gauges[ProgressVirtualSec] != 1.5 {
+		t.Fatalf("gauges: %v", gauges)
+	}
+	snap := o.Snapshot()
+	if snap.SchemaVersion != 3 {
+		t.Fatalf("schema version %d", snap.SchemaVersion)
+	}
+	if snap.Texts[ProgressPhase] != "step" || snap.Texts[ProgressState] != "running" {
+		t.Fatalf("texts: %v", snap.Texts)
+	}
+	if snap.Counters[ProgressCheckpoints] != 1 || snap.Counters[ProgressRecoveries] != 1 {
+		t.Fatalf("counters: %v", snap.Counters)
+	}
+}

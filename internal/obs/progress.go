@@ -1,0 +1,112 @@
+package obs
+
+import "sync"
+
+// Progress metric names. Engines publish run progress into the ordinary
+// metrics registry under these names (gauges fold with Max so re-publishing
+// after a checkpoint rollback keeps the externally visible fraction
+// monotone; counters accumulate). The live sampler and HTTP handlers read
+// them back out — progress is "over the obs registry", not a side channel,
+// so every existing snapshot/dump path carries it for free.
+const (
+	ProgressStepsDone   = "progress.steps_done"
+	ProgressStepsTotal  = "progress.steps_total"
+	ProgressVirtualSec  = "progress.virtual_sec"
+	ProgressPhase       = "progress.phase"
+	ProgressState       = "progress.state"
+	ProgressCheckpoints = "progress.checkpoints"
+	ProgressRecoveries  = "progress.recoveries"
+)
+
+// Progress is a publisher of run progress: pre-resolved handles on the
+// progress.* metrics. All methods are safe on a nil receiver, so engines
+// can publish unconditionally.
+type Progress struct {
+	stepsDone   *Gauge
+	stepsTotal  *Gauge
+	virtualSec  *Gauge
+	phase       *Text
+	state       *Text
+	checkpoints *Counter
+	recoveries  *Counter
+}
+
+// NewProgress resolves the progress.* handles in reg (nil-safe).
+func NewProgress(reg *Registry) *Progress {
+	return &Progress{
+		stepsDone:   reg.Gauge(ProgressStepsDone),
+		stepsTotal:  reg.Gauge(ProgressStepsTotal),
+		virtualSec:  reg.Gauge(ProgressVirtualSec),
+		phase:       reg.Text(ProgressPhase),
+		state:       reg.Text(ProgressState),
+		checkpoints: reg.Counter(ProgressCheckpoints),
+		recoveries:  reg.Counter(ProgressRecoveries),
+	}
+}
+
+// SetTotal publishes the total step count of the run.
+func (p *Progress) SetTotal(steps int) {
+	if p == nil {
+		return
+	}
+	p.stepsTotal.Max(float64(steps))
+}
+
+// StepDone publishes that steps through `done` have completed, along with
+// the current virtual clock. Max-folded: rollbacks never move the published
+// fraction backwards.
+func (p *Progress) StepDone(done int, virtualSec float64) {
+	if p == nil {
+		return
+	}
+	p.stepsDone.Max(float64(done))
+	p.virtualSec.Max(virtualSec)
+}
+
+// Phase publishes the currently executing phase name.
+func (p *Progress) Phase(name string) {
+	if p == nil {
+		return
+	}
+	p.phase.Set(name)
+}
+
+// State publishes the run state ("running", "recovering", "done", ...).
+func (p *Progress) State(s string) {
+	if p == nil {
+		return
+	}
+	p.state.Set(s)
+}
+
+// Checkpoint counts one completed checkpoint write.
+func (p *Progress) Checkpoint() {
+	if p == nil {
+		return
+	}
+	p.checkpoints.Inc()
+}
+
+// Recovery counts one checkpoint-rollback recovery.
+func (p *Progress) Recovery() {
+	if p == nil {
+		return
+	}
+	p.recoveries.Inc()
+}
+
+// progressOnce caches the Obs-level publisher.
+type progressOnce struct {
+	once sync.Once
+	p    *Progress
+}
+
+// Progress returns the run-progress publisher for this Obs, resolved once.
+// Safe on a nil Obs (returns nil; all publisher methods no-op).
+func (o *Obs) Progress() *Progress {
+	if o == nil {
+		return nil
+	}
+	o.progress.once.Do(func() { o.progress.p = NewProgress(o.Reg) })
+	return o.progress.p
+}

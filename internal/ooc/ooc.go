@@ -46,22 +46,27 @@ type Store struct {
 	o           *obs.Obs
 	tr          *obs.Track
 	cHit, cMiss *obs.Counter
+	prog        *obs.Progress
 }
 
-// SetObs attaches an observation handle: block-cache hit/miss counters and,
-// when the tracer is enabled, a host-time row for the store's passes.
+// SetObs attaches an observation handle: block-cache hit/miss counters, the
+// run-progress publisher, and, when the tracer is enabled, a host-time row
+// for the store's passes.
 func (s *Store) SetObs(o *obs.Obs) {
 	s.o = o
 	s.cHit = o.Reg.Counter("ooc.cache.hits")
 	s.cMiss = o.Reg.Counter("ooc.cache.misses")
+	s.prog = o.Progress()
 	if o.Tracer != nil {
 		s.tr = o.Tracer.Track(obs.PidHost, 1, "ooc store")
 	}
 }
 
-// span opens a host-time span on the store's trace row; the returned closure
-// ends it (a no-op without a tracer).
+// span opens a host-time span on the store's trace row and publishes the
+// pass as the live progress phase; the returned closure ends the span (a
+// no-op without a tracer).
 func (s *Store) span(name string) func() {
+	s.prog.Phase("ooc-" + name)
 	if s.tr == nil {
 		return func() {}
 	}

@@ -82,14 +82,17 @@ type Sim struct {
 	o      *obs.Obs
 	tr     *obs.Track
 	cSteps *obs.Counter
+	prog   *obs.Progress
 }
 
-// SetObs attaches an observation handle: a step counter and, when the
-// tracer is enabled, a host-time row with the per-step phase spans (SPH runs
-// on the host, not inside the virtual machine model).
+// SetObs attaches an observation handle: a step counter, the run-progress
+// publisher, and, when the tracer is enabled, a host-time row with the
+// per-step phase spans (SPH runs on the host, not inside the virtual
+// machine model).
 func (s *Sim) SetObs(o *obs.Obs) {
 	s.o = o
 	s.cSteps = o.Reg.Counter("sph.steps")
+	s.prog = o.Progress()
 	if o.Tracer != nil {
 		s.tr = o.Tracer.Track(obs.PidHost, 2, "sph sim")
 	}
@@ -551,17 +554,23 @@ func NewRotatingCollapse(opt RotatingCollapseOptions) *Sim {
 // density and the central radial velocity turns around (or maxSteps).
 // It returns the step count and whether bounce was detected.
 func (s *Sim) RunUntilBounce(maxSteps int) (int, bool) {
+	s.prog.SetTotal(maxSteps)
+	s.prog.State("running")
+	s.prog.Phase("sph-step")
 	reachedNuc := false
 	for step := 1; step <= maxSteps; step++ {
 		s.Step()
+		s.prog.StepDone(step, s.Time)
 		d := s.Diag()
 		if d.MaxRho > s.Cfg.EOS.RhoNuc {
 			reachedNuc = true
 		}
 		if reachedNuc && d.CentralVr > 0 {
+			s.prog.State("done")
 			return step, true
 		}
 	}
+	s.prog.State("done")
 	return maxSteps, false
 }
 
