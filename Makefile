@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke ci all
 
 all: build test vet fmt-check
 
@@ -95,7 +95,27 @@ live-smoke:
 	$(GO) run ./cmd/ssbench -quick -http 127.0.0.1:17072 -sample-every 20ms group -o /tmp/spacesim-smoke-live-bench.json
 	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-live-bench.json
 
+# Run-ledger smoke: two quick grouped-bench runs recorded into a scratch
+# ledger must stamp identical config digests (the digest covers only
+# deterministic invocation parameters); the trend report must render; the
+# baseline arm of the perf gate must pass a self-diff against that history;
+# the HTML dashboard must render; and tracecheck must re-verify every run
+# record and content-addressed artifact blob.
+ledger-smoke:
+	$(GO) build -o /tmp/spacesim-smoke-ssbench ./cmd/ssbench
+	rm -rf /tmp/spacesim-smoke-ledger
+	/tmp/spacesim-smoke-ssbench -quick -ledger /tmp/spacesim-smoke-ledger group -o /tmp/spacesim-smoke-ledger-a.json
+	/tmp/spacesim-smoke-ssbench -quick -ledger /tmp/spacesim-smoke-ledger group -o /tmp/spacesim-smoke-ledger-b.json
+	@da=$$(grep -o '"config_digest": *"[0-9a-f]*"' /tmp/spacesim-smoke-ledger-a.json); \
+	db=$$(grep -o '"config_digest": *"[0-9a-f]*"' /tmp/spacesim-smoke-ledger-b.json); \
+	[ -n "$$da" ] && [ "$$da" = "$$db" ] || { echo "ledger-smoke: config digests differ: $$da vs $$db"; exit 1; }; \
+	echo "ledger-smoke: identical config digests across both runs"
+	/tmp/spacesim-smoke-ssbench trend -ledger /tmp/spacesim-smoke-ledger
+	/tmp/spacesim-smoke-ssbench diff -baseline -ledger /tmp/spacesim-smoke-ledger /tmp/spacesim-smoke-ledger-b.json
+	/tmp/spacesim-smoke-ssbench report -ledger /tmp/spacesim-smoke-ledger -html /tmp/spacesim-smoke-ledger-runs.html
+	$(GO) run ./cmd/tracecheck -ledger /tmp/spacesim-smoke-ledger
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
 # the observability + trace-analysis + fault-injection + tree-build +
-# engine-scaling + live-telemetry smoke runs.
-ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke
+# engine-scaling + live-telemetry + run-ledger smoke runs.
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke

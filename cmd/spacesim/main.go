@@ -33,6 +33,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/ledger"
 	"spacesim/internal/obs/live"
 	"spacesim/internal/pario"
 )
@@ -74,6 +76,7 @@ func main() {
 		engineW = flag.Int("engine-workers", 0, "event-engine worker pool size (0 = host cores; 1 = fully reproducible schedules)")
 		httpA   = flag.String("http", "", "serve live telemetry (metrics, progress, series, pprof) on this address during the run")
 		sampleE = flag.Duration("sample-every", 250*time.Millisecond, "live sampler cadence (with -http)")
+		ledgerD = flag.String("ledger", ledger.DefaultDir, "run-ledger directory for the cross-run history (empty disables ledger writes)")
 	)
 	flag.Parse()
 	eng, err := mp.ParseEngine(*engine)
@@ -126,6 +129,7 @@ func main() {
 		if *report {
 			o.EnableEvents()
 		}
+		ledger.Prov().Stamp(o.Reg)
 		sampler.SetObs(o)
 		return o
 	}
@@ -134,13 +138,36 @@ func main() {
 		sampler = live.NewSampler(o, live.Config{Every: *sampleE})
 		sampler.Start()
 		defer sampler.Stop()
-		srv, err := live.Serve(*httpA, sampler)
+		var mounts []live.Mount
+		if *ledgerD != "" {
+			if st, err := ledger.Open(*ledgerD); err == nil {
+				mounts = append(mounts, live.Mount{Prefix: "/runs", Handler: st.Handler()})
+			}
+		}
+		srv, err := live.Serve(*httpA, sampler, mounts...)
 		if err != nil {
 			log.Fatalf("http: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("live telemetry: http://%s/ (metrics, progress.json, series.json, debug/pprof)\n", srv.Addr())
+		fmt.Printf("live telemetry: http://%s/ (metrics, progress.json, series.json, runs, debug/pprof)\n", srv.Addr())
 	}
+	// The canonical run configuration: everything that makes two invocations
+	// comparable in the ledger. Host-dependent values stay out by design.
+	lcfg := ledger.Config{
+		Tool: "spacesim", Experiment: "run", Scenario: *ic,
+		N: *n, Ranks: *procs, Steps: *steps,
+		Engine: *engine, Workers: *engineW, Seed: *seed,
+		Flags: map[string]string{
+			"theta": fmt.Sprint(*theta), "dt": fmt.Sprint(*dt),
+			"eps": fmt.Sprint(*eps), "karp": fmt.Sprint(*karp),
+		},
+	}
+	if *fSeed != 0 {
+		lcfg.Flags["faults"] = fmt.Sprint(*fSeed)
+		lcfg.Flags["fault_accel"] = fmt.Sprint(*fAccel)
+		lcfg.Flags["checkpoint_every"] = fmt.Sprint(*ckEvery)
+	}
+
 	cl := machine.SpaceSimulator(netsim.ProfileLAM).WithObs(o)
 	cfg := core.RunConfig{
 		Cluster: cl, Procs: *procs, Steps: *steps,
@@ -192,6 +219,7 @@ func main() {
 	// the deferred Stop.
 	sampler.Stop()
 
+	artifact := ""
 	if *report {
 		rep, err := analysis.Analyze(o, cl, analysis.Options{})
 		if err != nil {
@@ -199,6 +227,9 @@ func main() {
 		}
 		rep.Faults = faultRep
 		rep.Live = sampler.Dump()
+		if rep.Provenance != nil {
+			rep.Provenance.ConfigDigest = lcfg.Digest()
+		}
 		fmt.Println()
 		fmt.Print(rep.Render())
 		if *aOut != "" {
@@ -206,6 +237,7 @@ func main() {
 				log.Fatalf("report: %v", err)
 			}
 			fmt.Printf("  analysis: %s\n", *aOut)
+			artifact = *aOut
 		}
 	}
 
@@ -221,6 +253,47 @@ func main() {
 		}
 		fmt.Printf("  trace: %s (chrome://tracing or https://ui.perfetto.dev)\n", *trace)
 	}
+
+	appendRun(*ledgerD, lcfg, artifact, res)
+}
+
+// appendRun records the finished run in the ledger: headline metrics from
+// the result (and, when written, the ANALYSIS.json artifact), peak RSS, and
+// the content-addressed artifact blob. Best-effort — a failed append warns
+// and never fails the run.
+func appendRun(dir string, cfg ledger.Config, artifactPath string, res core.Result) {
+	if dir == "" {
+		return
+	}
+	st, err := ledger.Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ledger:", err)
+		return
+	}
+	metrics := map[string]float64{
+		"makespan_sec":  res.ElapsedVirtual,
+		"gflops":        res.Gflops,
+		"max_imbalance": res.MaxImbalance,
+	}
+	var artifacts map[string][]byte
+	if artifactPath != "" {
+		if data, err := os.ReadFile(artifactPath); err == nil {
+			artifacts = map[string][]byte{filepath.Base(artifactPath): data}
+			for k, v := range ledger.ExtractMetrics(data) {
+				metrics[k] = v
+			}
+		}
+	}
+	if rss := ledger.PeakRSSBytes(); rss > 0 {
+		metrics["peak_rss_bytes"] = float64(rss)
+	}
+	rec := &ledger.Record{Config: cfg, Build: ledger.Prov(), Metrics: metrics}
+	id, err := st.Append(rec, artifacts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ledger:", err)
+		return
+	}
+	fmt.Printf("  ledger: run %s (config %s) in %s\n", id, rec.ConfigDigest[:12], st.Dir)
 }
 
 // runWithFaults executes the fault-injected path: an uninterrupted probe

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"spacesim/internal/core"
 	"spacesim/internal/machine"
 	"spacesim/internal/netsim"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/ledger"
 )
 
 var analysisOut = flag.String("analysis-out", "ANALYSIS.json", "output path for the analyze experiment's report")
@@ -59,6 +61,10 @@ func analyzeBench() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+	cfg := ledgerConfig("analyze", n, 8, steps, 4, "", 1)
+	if rep.Provenance != nil {
+		rep.Provenance.ConfigDigest = cfg.Digest()
+	}
 	fmt.Printf("treecode on %s: N=%d, 8 ranks, %d steps, virtual %.3f s, %.1f Gflop/s\n\n",
 		cl.Name, n, res.Steps, res.ElapsedVirtual, res.Gflops)
 	fmt.Print(rep.Render())
@@ -68,6 +74,7 @@ func analyzeBench() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *analysisOut)
+		ledgerAppend(cfg, filepath.Base(*analysisOut), *analysisOut)
 	}
 }
 
@@ -89,12 +96,31 @@ func diffCmd(args []string) {
 		"allowed relative tree-construction time increase (bench records)")
 	scaleFrac := fs.Float64("scale-frac", 0.5,
 		"allowed relative ranks/sec drop in the engine scaling sweep (bench records)")
+	baseline := fs.Bool("baseline", false,
+		"gate NEW.json against its ledger history instead of an OLD.json file")
+	ledgerFlag := fs.String("ledger", *ledgerDir, "ledger directory for -baseline")
+	lastK := fs.Int("last", 10, "baseline window: most recent K comparable runs")
+	allowCross := fs.Bool("allow-cross-machine", false,
+		"compare runs from different hosts/modeled machines anyway (normally refused)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ssbench diff [flags] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "       ssbench diff -baseline [flags] NEW.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	th.AllowCrossMachine = *allowCross
+	if *allowCross {
+		fmt.Fprintln(os.Stderr, "diff: warning: -allow-cross-machine compares runs from different machines; deltas may be configuration drift, not regressions")
+	}
+	if *baseline {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			os.Exit(2)
+		}
+		diffBaseline(fs.Arg(0), *ledgerFlag, *lastK, *allowCross)
+		return
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -138,4 +164,74 @@ func diffCmd(args []string) {
 	if !d.OK() {
 		os.Exit(1)
 	}
+}
+
+// diffBaseline is the ledger arm of the diff gate: it keys the NEW artifact
+// back to its comparable ledger history (same config digest, same host
+// unless crossed) and judges each headline metric against the median/MAD of
+// the last K runs. Exit 1 on regression; an empty baseline passes with a
+// note, so the gate is safe to enable before any history exists.
+func diffBaseline(newPath, ledgerPath string, lastK int, allowCross bool) {
+	data, err := os.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diff:", err)
+		os.Exit(2)
+	}
+	prov, ok := ledger.ExtractProvenance(data)
+	if !ok || prov.ConfigDigest == "" {
+		fmt.Fprintf(os.Stderr, "diff: %s carries no provenance config digest; regenerate it with a current ssbench\n", newPath)
+		os.Exit(2)
+	}
+	st := openLedgerAt(ledgerPath)
+	if st == nil {
+		fmt.Println("diff: ledger disabled or unavailable; no baseline to gate against")
+		return
+	}
+	recs, err := st.Records()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diff:", err)
+		os.Exit(2)
+	}
+	var base []ledger.Record
+	if allowCross {
+		for _, r := range recs {
+			if r.ConfigDigest == prov.ConfigDigest {
+				base = append(base, r)
+			}
+		}
+	} else {
+		base = ledger.Comparable(recs, prov.ConfigDigest, ledger.Prov().HostKey())
+	}
+	// NEW may itself be the most recent ledgered artifact (the smoke gates a
+	// file the run just recorded): drop the newest record holding these exact
+	// bytes, keeping any earlier identical results as legitimate baseline.
+	newDigest := ledger.BlobDigest(data)
+	for i := len(base) - 1; i >= 0; i-- {
+		if hasArtifactDigest(base[i], newDigest) {
+			base = append(base[:i], base[i+1:]...)
+			break
+		}
+	}
+	if len(base) == 0 {
+		fmt.Printf("diff: no comparable runs for config %.12s in %s; nothing to gate against\n",
+			prov.ConfigDigest, st.Dir)
+		return
+	}
+	trends := ledger.GateAgainst(base, ledger.ExtractMetrics(data), lastK)
+	printTrends(trends)
+	if ledger.AnyRegression(trends) {
+		fmt.Printf("diff: FAIL (baseline of %d comparable runs)\n", len(base))
+		os.Exit(1)
+	}
+	fmt.Printf("diff: OK vs baseline of %d comparable runs\n", len(base))
+}
+
+// hasArtifactDigest reports whether rec stored an artifact with digest.
+func hasArtifactDigest(rec ledger.Record, digest string) bool {
+	for _, d := range rec.Artifacts {
+		if d == digest {
+			return true
+		}
+	}
+	return false
 }

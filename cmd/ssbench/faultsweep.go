@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strconv"
 
 	"spacesim/internal/core"
 	"spacesim/internal/faults"
+	"spacesim/internal/obs/ledger"
 )
 
 // FaultsweepSchemaVersion stamps FAULTSWEEP.json.
@@ -29,8 +32,9 @@ type FaultsweepReport struct {
 	BaselineVirtualSec float64 `json:"baseline_virtual_sec"`
 	ExpectedCrashes    float64 `json:"expected_crashes"`
 	// ScheduledCrashes is the number of crashes the drawn schedule holds.
-	ScheduledCrashes int               `json:"scheduled_crashes"`
-	Entries          []FaultsweepEntry `json:"entries"`
+	ScheduledCrashes int                `json:"scheduled_crashes"`
+	Entries          []FaultsweepEntry  `json:"entries"`
+	Provenance       *ledger.Provenance `json:"provenance,omitempty"`
 }
 
 // FaultsweepEntry is one checkpoint cadence's outcome.
@@ -71,6 +75,7 @@ func faultsweepCmd(args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
+	accelReq := *accel // requested, pre-calibration: the digestable input
 
 	n, steps := 4096, 12
 	if *quickF {
@@ -174,6 +179,15 @@ func faultsweepCmd(args []string) {
 		}
 	}
 
+	lcfg := ledger.Config{
+		Tool: "ssbench", Experiment: "faultsweep",
+		N: n, Ranks: procs, Steps: steps, Seed: *seed,
+		Flags: map[string]string{
+			"quick": strconv.FormatBool(*quickF),
+			"accel": fmt.Sprint(accelReq),
+		},
+	}
+	rep.Provenance = provFor(lcfg)
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultsweep:", err)
@@ -184,6 +198,7 @@ func faultsweepCmd(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	ledgerAppend(lcfg, filepath.Base(*out), *out)
 }
 
 // sweepBitIdentical compares gathered bodies and energy histories exactly.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"spacesim/internal/htree"
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/ledger"
 	"spacesim/internal/obs/live"
 	"spacesim/internal/vec"
 )
@@ -69,6 +71,10 @@ type groupDistributed struct {
 //	    retained window (host/virtual time columns plus one ring per
 //	    metric) and the final progress/ETA view. Written by any experiment
 //	    run with -http / live sampling enabled.
+//	7 — adds the build/host provenance block (`provenance`): go version,
+//	    VCS revision, hostname, and the canonical config digest of the
+//	    writing invocation (the key into the run ledger). Stamped by
+//	    every writer.
 type groupReport struct {
 	SchemaVersion   int                  `json:"schema_version"`
 	N               int                  `json:"n"`
@@ -88,6 +94,7 @@ type groupReport struct {
 	Treebuild       *treebuildReport     `json:"treebuild,omitempty"`
 	Scale           *scaleReport         `json:"scale,omitempty"`
 	Live            *live.Dump           `json:"live,omitempty"`
+	Provenance      *ledger.Provenance   `json:"provenance,omitempty"`
 }
 
 // groupBench times the per-body treewalk against the bucket-grouped one on a
@@ -222,6 +229,8 @@ func groupBench() {
 		rep.Live = d
 		rep.SchemaVersion = 6
 	}
+	cfg := ledgerConfig("group", n, procs, steps, dw, "grouped", 1)
+	stampProvenance(&rep, cfg)
 
 	fmt.Printf("bucket-grouped treewalk, Plummer N=%d, theta=%.2f, leaf=%d (best of %d)\n", n, theta, maxLeaf, reps)
 	fmt.Printf("%-10s %8s %10s %10s %10s %14s\n", "engine", "workers", "time", "ns/body", "ns/inter", "inter/s")
@@ -251,4 +260,5 @@ func groupBench() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *benchOut)
+	ledgerAppend(cfg, filepath.Base(*benchOut), *benchOut)
 }

@@ -31,6 +31,7 @@ import (
 	"spacesim/internal/netsim"
 	"spacesim/internal/npb"
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/ledger"
 	"spacesim/internal/obs/live"
 	"spacesim/internal/pario"
 	"spacesim/internal/perfmodel"
@@ -63,7 +64,7 @@ var (
 // ownFlagCmds are the subcommands that own their argument parsing
 // (positional file arguments or private flag sets), so the global
 // after-the-experiment-name re-parse must leave their arguments alone.
-var ownFlagCmds = map[string]bool{"diff": true, "faultsweep": true, "scale": true}
+var ownFlagCmds = map[string]bool{"diff": true, "faultsweep": true, "scale": true, "trend": true, "report": true}
 
 // parseInvocation parses an ssbench argument vector (without the program
 // name) against fs. Global flags are accepted both before and after the
@@ -108,8 +109,15 @@ func main() {
 	case "scale":
 		scaleCmd(rest)
 		return
+	case "trend":
+		trendCmd(rest)
+		return
+	case "report":
+		reportCmd(rest)
+		return
 	}
 	runObs = obs.New(*traceOut != "")
+	ledger.Prov().Stamp(runObs.Reg)
 	startLive()
 	defer writeObs()
 	defer stopProfiles()
@@ -160,10 +168,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-trace FILE] [-metrics FILE] [-http ADDR] [-sample-every DUR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|scale|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-ledger DIR] [-trace FILE] [-metrics FILE] [-http ADDR] [-sample-every DUR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|scale|trend|report|switch|spec|reliability|moore|all>")
 	fmt.Fprintln(os.Stderr, "       (global flags are accepted before or after the experiment name)")
 	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json   (ANALYSIS.json or BENCH_treecode.json pairs)")
+	fmt.Fprintln(os.Stderr, "       ssbench diff -baseline [flags] NEW.json  (gate NEW against its ledger history)")
 	fmt.Fprintln(os.Stderr, "       ssbench scale [-quick] [-ranks 8,64,294] [-event-ranks 1024,2048] [-o BENCH_treecode.json]   (engine scaling sweep)")
+	fmt.Fprintln(os.Stderr, "       ssbench trend [-ledger DIR] [-config DIGEST] [-last K] [-gate]   (per-metric history vs median/MAD baseline)")
+	fmt.Fprintln(os.Stderr, "       ssbench report [-ledger DIR] -html FILE   (static HTML dashboard of the ledger)")
 }
 
 // startLive starts the live-telemetry sampler over runObs and, when -http
@@ -175,13 +186,17 @@ func startLive() {
 	}
 	liveSampler = live.NewSampler(runObs, live.Config{Every: *sampleEvery})
 	liveSampler.Start()
-	srv, err := live.Serve(*httpAddr, liveSampler)
+	var mounts []live.Mount
+	if st := openLedger(); st != nil {
+		mounts = append(mounts, live.Mount{Prefix: "/runs", Handler: st.Handler()})
+	}
+	srv, err := live.Serve(*httpAddr, liveSampler, mounts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "http:", err)
 		os.Exit(1)
 	}
 	liveServer = srv
-	fmt.Printf("live telemetry on http://%s/ (metrics, progress.json, debug/pprof)\n", srv.Addr())
+	fmt.Printf("live telemetry on http://%s/ (metrics, progress.json, runs, debug/pprof)\n", srv.Addr())
 }
 
 // stopLive tears the live-telemetry pipeline down (final sample included).

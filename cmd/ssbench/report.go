@@ -1,0 +1,52 @@
+package main
+
+// `ssbench report` — the static HTML dashboard of the run ledger: the same
+// page the live server mounts at /runs, rendered to a file (or stdout) for
+// archiving next to the JSON artifacts.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// reportCmd owns its flag set like diff does (see ownFlagCmds).
+func reportCmd(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	dir := fs.String("ledger", *ledgerDir, "ledger directory to read")
+	htmlOut := fs.String("html", "RUNS.html", "output path for the HTML dashboard (- for stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ssbench report [-ledger DIR] [-html FILE]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	st := openLedgerAt(*dir)
+	if st == nil {
+		fmt.Fprintln(os.Stderr, "report: no ledger")
+		os.Exit(2)
+	}
+	if *htmlOut == "-" {
+		if err := st.RenderIndexHTML(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := os.Create(*htmlOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if err := st.RenderIndexHTML(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *htmlOut)
+}

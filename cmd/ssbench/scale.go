@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
 	"spacesim/internal/netsim"
+	"spacesim/internal/obs/ledger"
 )
 
 // scaleSchemaVersion is the BENCH_treecode.json schema written once the
@@ -242,7 +244,17 @@ func scaleCmd(args []string) {
 	}
 	fmt.Printf("max event-engine world: %d ranks\n", rep.MaxEventRanks)
 
-	writeScale(*out, rep)
+	lcfg := ledger.Config{
+		Tool: "ssbench", Experiment: "scale",
+		N: *bodies, Ranks: rep.MaxEventRanks, Steps: *steps, Workers: *workers,
+		Engine: "event",
+		Flags: map[string]string{
+			"quick":       strconv.FormatBool(*quickFlag),
+			"ranks":       fmt.Sprint(sweep),
+			"event_ranks": fmt.Sprint(eventOnly),
+		},
+	}
+	writeScale(*out, rep, lcfg)
 	if !rep.BitIdentical {
 		fmt.Fprintln(os.Stderr, "scale: FAIL: event engine is not bit-identical to the goroutine oracle")
 		os.Exit(1)
@@ -286,7 +298,7 @@ func runScaleChild(engineName, workload string, n, steps, bodies, workers int) {
 		fmt.Fprintln(os.Stderr, "scale: run aborted:", st.Err)
 		os.Exit(1)
 	}
-	rss := peakRSSBytes()
+	rss := ledger.PeakRSSBytes()
 	probe := scaleProbe{scaleEntry: scaleEntry{
 		Workload: workload, Engine: engineName, Ranks: n, Workers: workers,
 		VirtualSec: st.ElapsedVirtual, HostSec: host,
@@ -380,30 +392,6 @@ func parseRankList(s string, def []int) []int {
 	return out
 }
 
-// peakRSSBytes reads the process high-water resident set (VmHWM) from
-// /proc/self/status; 0 when the file or field is unavailable.
-func peakRSSBytes() int64 {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if !strings.HasPrefix(line, "VmHWM:") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return 0
-		}
-		kb, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return 0
-		}
-		return kb << 10
-	}
-	return 0
-}
-
 // diffScale is the scale arm of the bench-record diff: it gates ranks/sec
 // regressions past frac on matching (workload, engine, ranks) entries and
 // fails when the new record lost engine bit-identity. Only like-for-like
@@ -451,8 +439,9 @@ func diffScale(oldRep, newRep groupReport, oldPath string, frac float64) bool {
 }
 
 // writeScale merges the scale block into the benchmark record at path,
-// preserving any existing blocks, and raises it to schema_version 5.
-func writeScale(path string, sc scaleReport) {
+// preserving any existing blocks, raises it to at least schema_version 5,
+// stamps the sweep's provenance, and appends the run to the ledger.
+func writeScale(path string, sc scaleReport, cfg ledger.Config) {
 	var rep groupReport
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &rep); err != nil {
@@ -468,6 +457,7 @@ func writeScale(path string, sc scaleReport) {
 		rep.SchemaVersion = scaleSchemaVersion
 	}
 	rep.Scale = &sc
+	stampProvenance(&rep, cfg)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scale: marshal:", err)
@@ -478,4 +468,5 @@ func writeScale(path string, sc scaleReport) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (schema v%d, scale block with %d entries)\n", path, rep.SchemaVersion, len(sc.Entries))
+	ledgerAppend(cfg, filepath.Base(path), path)
 }

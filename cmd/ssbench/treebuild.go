@@ -6,11 +6,13 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"spacesim/internal/core"
 	"spacesim/internal/htree"
+	"spacesim/internal/obs/ledger"
 	"spacesim/internal/vec"
 )
 
@@ -148,7 +150,7 @@ func treebuildBench() {
 	}
 	fmt.Printf("bit-identical to serial reference across workers %v: true\n", workerSet)
 
-	writeTreebuild(rep)
+	writeTreebuild(rep, ledgerConfig("treebuild", n, 0, 0, 0, "pipeline", 1))
 }
 
 // sameAsReference checks tree equality (bodies and every cell) and
@@ -268,8 +270,9 @@ func ratioOf(a, b float64) float64 {
 
 // writeTreebuild merges the treebuild block into the benchmark record at
 // *benchOut — preserving an existing group report's fields if the file is
-// already there — and bumps it to schema_version 4.
-func writeTreebuild(tb treebuildReport) {
+// already there — bumps it to at least schema_version 4, stamps the writing
+// invocation's provenance, and appends the run to the ledger.
+func writeTreebuild(tb treebuildReport, cfg ledger.Config) {
 	var rep groupReport
 	if data, err := os.ReadFile(*benchOut); err == nil {
 		if err := json.Unmarshal(data, &rep); err != nil {
@@ -288,6 +291,7 @@ func writeTreebuild(tb treebuildReport) {
 		rep.SchemaVersion = benchSchemaVersion
 	}
 	rep.Treebuild = &tb
+	stampProvenance(&rep, cfg)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treebuild: marshal:", err)
@@ -299,4 +303,5 @@ func writeTreebuild(tb treebuildReport) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *benchOut)
+	ledgerAppend(cfg, filepath.Base(*benchOut), *benchOut)
 }

@@ -1,10 +1,11 @@
 // Command tracecheck validates the observability artifacts the simulator
 // emits: a Chrome trace_event JSON file (-trace), a metrics snapshot JSON
 // file (-metrics), a trace-analysis report (-analysis), a treecode
-// benchmark record (-bench), and/or a checkpoint-cadence sweep
-// (-faultsweep). It exits nonzero with a diagnostic when a file does not
-// satisfy the expected schema, and prints a one-line summary when it does.
-// Used by `make ci` to smoke-test the observability pipeline.
+// benchmark record (-bench), a checkpoint-cadence sweep (-faultsweep),
+// and/or a run-ledger directory (-ledger). It exits nonzero with a
+// diagnostic when a file does not satisfy the expected schema, and prints a
+// one-line summary when it does. Used by `make ci` to smoke-test the
+// observability pipeline.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
+	"spacesim/internal/obs/ledger"
 	"spacesim/internal/obs/live"
 )
 
@@ -25,9 +27,10 @@ func main() {
 	analysisPath := flag.String("analysis", "", "trace-analysis report (ANALYSIS.json) to validate")
 	bench := flag.String("bench", "", "treecode benchmark record (BENCH_treecode.json) to validate")
 	sweep := flag.String("faultsweep", "", "checkpoint-cadence sweep (FAULTSWEEP.json) to validate")
+	ledgerDir := flag.String("ledger", "", "run-ledger directory (.ssruns) to validate")
 	flag.Parse()
-	if *trace == "" && *metrics == "" && *analysisPath == "" && *bench == "" && *sweep == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE] [-analysis FILE] [-bench FILE] [-faultsweep FILE]")
+	if *trace == "" && *metrics == "" && *analysisPath == "" && *bench == "" && *sweep == "" && *ledgerDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace FILE] [-metrics FILE] [-analysis FILE] [-bench FILE] [-faultsweep FILE] [-ledger DIR]")
 		os.Exit(2)
 	}
 	ok := true
@@ -45,6 +48,9 @@ func main() {
 	}
 	if *sweep != "" {
 		ok = checkFaultsweep(*sweep) && ok
+	}
+	if *ledgerDir != "" {
+		ok = checkLedger(*ledgerDir) && ok
 	}
 	if !ok {
 		os.Exit(1)
@@ -265,62 +271,71 @@ func checkAnalysis(path string) bool {
 	return true
 }
 
-// checkLive validates a live-telemetry block (shared by ANALYSIS.json and
+// checkLive validates a live-telemetry block in the artifact at path,
+// reporting the first violation liveErr finds.
+func checkLive(path string, d *live.Dump) bool {
+	if err := liveErr(d); err != nil {
+		return fail(path, "%v", err)
+	}
+	return true
+}
+
+// liveErr validates a live-telemetry block (shared by ANALYSIS.json and
 // BENCH_treecode.json): the sampler must have ticked, the retained host
 // and virtual time columns must be monotone and equally long, every series
 // ring must be in lockstep with them, and the final progress view must be
 // internally consistent (fraction in [0,1], nonnegative counts, ETA either
-// unknown (-1) or nonnegative).
-func checkLive(path string, d *live.Dump) bool {
+// unknown (-1) or nonnegative). Returns nil when the block is sound.
+func liveErr(d *live.Dump) error {
 	if d.SchemaVersion < 1 {
-		return fail(path, "live: schema_version %d < 1", d.SchemaVersion)
+		return fmt.Errorf("live: schema_version %d < 1", d.SchemaVersion)
 	}
 	if d.Samples <= 0 {
-		return fail(path, "live: %d samples, want > 0", d.Samples)
+		return fmt.Errorf("live: %d samples, want > 0", d.Samples)
 	}
 	if d.SampleEverySec <= 0 {
-		return fail(path, "live: sample_every_sec %g, want > 0", d.SampleEverySec)
+		return fmt.Errorf("live: sample_every_sec %g, want > 0", d.SampleEverySec)
 	}
 	if d.Capacity <= 0 {
-		return fail(path, "live: capacity %d, want > 0", d.Capacity)
+		return fmt.Errorf("live: capacity %d, want > 0", d.Capacity)
 	}
 	n := len(d.HostSec)
 	if n == 0 || n > d.Capacity {
-		return fail(path, "live: %d retained samples outside (0, capacity %d]", n, d.Capacity)
+		return fmt.Errorf("live: %d retained samples outside (0, capacity %d]", n, d.Capacity)
 	}
 	if len(d.VirtualSec) != n {
-		return fail(path, "live: virtual_sec has %d samples, host_sec has %d", len(d.VirtualSec), n)
+		return fmt.Errorf("live: virtual_sec has %d samples, host_sec has %d", len(d.VirtualSec), n)
 	}
 	for i := 1; i < n; i++ {
 		if d.HostSec[i] < d.HostSec[i-1] {
-			return fail(path, "live: host_sec not monotone at sample %d (%g < %g)", i, d.HostSec[i], d.HostSec[i-1])
+			return fmt.Errorf("live: host_sec not monotone at sample %d (%g < %g)", i, d.HostSec[i], d.HostSec[i-1])
 		}
 		if d.VirtualSec[i] < d.VirtualSec[i-1] {
-			return fail(path, "live: virtual_sec not monotone at sample %d (%g < %g)", i, d.VirtualSec[i], d.VirtualSec[i-1])
+			return fmt.Errorf("live: virtual_sec not monotone at sample %d (%g < %g)", i, d.VirtualSec[i], d.VirtualSec[i-1])
 		}
 	}
 	for _, s := range d.Series {
 		if s.Name == "" {
-			return fail(path, "live: series with empty name")
+			return fmt.Errorf("live: series with empty name")
 		}
 		if len(s.Values) != n {
-			return fail(path, "live: series %s has %d samples, time columns have %d", s.Name, len(s.Values), n)
+			return fmt.Errorf("live: series %s has %d samples, time columns have %d", s.Name, len(s.Values), n)
 		}
 	}
 	p := d.Progress
 	if p.StepFraction < 0 || p.StepFraction > 1 {
-		return fail(path, "live: step_fraction %g outside [0, 1]", p.StepFraction)
+		return fmt.Errorf("live: step_fraction %g outside [0, 1]", p.StepFraction)
 	}
 	if p.StepsDone < 0 || p.StepsTotal < 0 || p.VirtualSec < 0 || p.HostSec < 0 {
-		return fail(path, "live: negative progress measurement %+v", p)
+		return fmt.Errorf("live: negative progress measurement %+v", p)
 	}
 	if p.Checkpoints < 0 || p.Recoveries < 0 {
-		return fail(path, "live: negative checkpoint/recovery counts %+v", p)
+		return fmt.Errorf("live: negative checkpoint/recovery counts %+v", p)
 	}
 	if p.ETASec < 0 && p.ETASec != -1 {
-		return fail(path, "live: eta_sec %g, want -1 (unknown) or >= 0", p.ETASec)
+		return fmt.Errorf("live: eta_sec %g, want -1 (unknown) or >= 0", p.ETASec)
 	}
-	return true
+	return nil
 }
 
 // checkFaultsweep validates FAULTSWEEP.json: the checkpoint-cadence sweep
@@ -476,7 +491,8 @@ func checkBench(path string) bool {
 				RanksPerGB   float64 `json:"ranks_per_gb"`
 			} `json:"entries"`
 		} `json:"scale"`
-		Live *live.Dump `json:"live"`
+		Live       *live.Dump         `json:"live"`
+		Provenance *ledger.Provenance `json:"provenance"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fail(path, "not valid bench JSON: %v", err)
@@ -493,8 +509,16 @@ func checkBench(path string) bool {
 	if rep.SchemaVersion == 5 && rep.Scale == nil {
 		return fail(path, "schema v%d record without a scale block", rep.SchemaVersion)
 	}
-	if rep.SchemaVersion >= 6 && rep.Live == nil {
+	if rep.SchemaVersion == 6 && rep.Live == nil {
 		return fail(path, "schema v%d record without a live block", rep.SchemaVersion)
+	}
+	if rep.SchemaVersion >= 7 {
+		if rep.Provenance == nil {
+			return fail(path, "schema v%d record without a provenance block", rep.SchemaVersion)
+		}
+		if rep.Provenance.GoVersion == "" || rep.Provenance.ConfigDigest == "" {
+			return fail(path, "provenance block missing go_version or config_digest: %+v", rep.Provenance)
+		}
 	}
 	if rep.Live != nil && !checkLive(path, rep.Live) {
 		return false
@@ -604,7 +628,67 @@ func checkBench(path string) bool {
 	if rep.Live != nil {
 		tbNote += fmt.Sprintf(", live block (%d samples, %d series)", rep.Live.Samples, len(rep.Live.Series))
 	}
+	if rep.Provenance != nil {
+		tbNote += fmt.Sprintf(", provenance (config %.12s)", rep.Provenance.ConfigDigest)
+	}
 	fmt.Printf("tracecheck: %s ok: schema v%d, n=%d, %d results, metrics=%v, analysis=%v%s\n",
 		path, rep.SchemaVersion, rep.N, len(rep.Results), rep.Metrics != nil, rep.Analysis != nil, tbNote)
+	return true
+}
+
+// checkLedger validates a run-ledger directory: the index must parse, every
+// record must carry a schema version, id, config digest, and append time,
+// and every artifact blob must exist and hash back to its recorded digest
+// (ReadBlob re-verifies content addresses, so silent corruption surfaces
+// here).
+func checkLedger(dir string) bool {
+	if _, err := os.Stat(dir); err != nil {
+		return fail(dir, "%v", err)
+	}
+	st, err := ledger.Open(dir)
+	if err != nil {
+		return fail(dir, "%v", err)
+	}
+	recs, err := st.Records()
+	if err != nil {
+		return fail(dir, "%v", err)
+	}
+	if len(recs) == 0 {
+		return fail(dir, "no run records")
+	}
+	blobs := 0
+	lastT := int64(0)
+	for i, r := range recs {
+		if r.SchemaVersion < 1 {
+			return fail(dir, "record %d: schema_version %d < 1", i, r.SchemaVersion)
+		}
+		if r.ID == "" {
+			return fail(dir, "record %d: empty id", i)
+		}
+		if r.ConfigDigest == "" {
+			return fail(dir, "record %s: empty config digest", r.ID)
+		}
+		if r.ConfigDigest != r.Config.Digest() {
+			return fail(dir, "record %s: config digest %.12s does not match its config (%.12s)",
+				r.ID, r.ConfigDigest, r.Config.Digest())
+		}
+		if r.TimeUnixNS <= 0 {
+			return fail(dir, "record %s: append time %d, want > 0", r.ID, r.TimeUnixNS)
+		}
+		if r.TimeUnixNS < lastT {
+			return fail(dir, "record %s: append time not monotone", r.ID)
+		}
+		lastT = r.TimeUnixNS
+		if r.Build.GoVersion == "" || r.Build.Hostname == "" {
+			return fail(dir, "record %s: provenance missing go_version or hostname", r.ID)
+		}
+		for name, digest := range r.Artifacts {
+			if _, err := st.ReadBlob(digest); err != nil {
+				return fail(dir, "record %s: artifact %s: %v", r.ID, name, err)
+			}
+			blobs++
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: %d run records, %d artifact blobs verified\n", dir, len(recs), blobs)
 	return true
 }

@@ -28,6 +28,7 @@ import (
 
 	"spacesim/internal/machine"
 	"spacesim/internal/obs"
+	"spacesim/internal/obs/ledger"
 	"spacesim/internal/obs/live"
 )
 
@@ -99,6 +100,13 @@ type Report struct {
 	// was sampled (-http / -sample-every); nil otherwise. The live view
 	// and the post-mortem artifact are the same data.
 	Live *live.Dump `json:"live,omitempty"`
+
+	// Provenance records the binary and host that produced the report
+	// (go version, VCS revision, hostname, GOMAXPROCS) plus — when the
+	// driver runs with a ledger — the run's config digest, which lets
+	// `ssbench diff -baseline` key a bare report back to its comparable
+	// ledger history.
+	Provenance *ledger.Provenance `json:"provenance,omitempty"`
 }
 
 // FaultSummary is the fault-injection and recovery record of a run
@@ -308,6 +316,7 @@ func Analyze(o *obs.Obs, cl machine.Cluster, opt Options) (*Report, error) {
 		sumWait += metByRank[rd.id].WaitSec
 	}
 
+	prov := ledger.Prov()
 	rep := &Report{
 		SchemaVersion: SchemaVersion,
 		Machine:       cl.Info(),
@@ -315,6 +324,7 @@ func Analyze(o *obs.Obs, cl machine.Cluster, opt Options) (*Report, error) {
 		MakespanSec:   makespan,
 		RankMetrics:   metrics,
 		Histograms:    o.Reg.HistogramSnapshots(),
+		Provenance:    &prov,
 	}
 	rep.Counters, rep.Gauges = o.Reg.Snapshot()
 	if makespan > 0 {

@@ -14,6 +14,10 @@ type Thresholds struct {
 	CategoryFrac   float64 `json:"category_frac"`
 	LatencyP99Frac float64 `json:"latency_p99_frac"`
 	EfficiencyDrop float64 `json:"efficiency_drop"`
+	// AllowCrossMachine downgrades the modeled-machine identity check
+	// from a hard refusal to a note. The virtual-time gates still run;
+	// the caller owns the judgment that the comparison means anything.
+	AllowCrossMachine bool `json:"allow_cross_machine,omitempty"`
 }
 
 // DefaultThresholds are tuned for a CI gate: loose enough to absorb
@@ -79,10 +83,14 @@ func Diff(oldR, newR *Report, th Thresholds) DiffResult {
 	}
 
 	if oldR.Machine != newR.Machine {
-		reg("machine.identity", 0, 1, 0)
-		d.Notes = append(d.Notes, fmt.Sprintf("machine mismatch: %q vs %q — runs are not comparable",
+		if !th.AllowCrossMachine {
+			reg("machine.identity", 0, 1, 0)
+			d.Notes = append(d.Notes, fmt.Sprintf("machine mismatch: %q vs %q — runs are not comparable",
+				oldR.Machine.Name, newR.Machine.Name))
+			return d
+		}
+		d.Notes = append(d.Notes, fmt.Sprintf("machine mismatch: %q vs %q — comparing anyway (-allow-cross-machine)",
 			oldR.Machine.Name, newR.Machine.Name))
-		return d
 	}
 	if oldR.Ranks != newR.Ranks {
 		reg("ranks", float64(oldR.Ranks), float64(newR.Ranks), float64(oldR.Ranks))

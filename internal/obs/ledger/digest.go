@@ -1,0 +1,38 @@
+package ledger
+
+import "encoding/json"
+
+// Config is the canonical run configuration whose SHA-256 keys comparable
+// runs. It holds only deterministic invocation parameters — scenario shape,
+// sizes, engine selection, seed, extra flags — never timings, timestamps or
+// host facts, so the same invocation always produces the same digest on any
+// machine at any time.
+//
+// Canonical form: encoding/json marshaling of this struct. Struct fields
+// serialize in declaration order and map keys sort lexically, so equal
+// configs marshal to equal bytes. Field order and names are therefore part
+// of the digest definition; extending the struct (new trailing field with
+// omitempty, zero for old invocations) is digest-compatible, reordering or
+// renaming is not.
+type Config struct {
+	Tool       string            `json:"tool"`
+	Experiment string            `json:"experiment"`
+	Scenario   string            `json:"scenario,omitempty"`
+	N          int               `json:"n,omitempty"`
+	Ranks      int               `json:"ranks,omitempty"`
+	Steps      int               `json:"steps,omitempty"`
+	Engine     string            `json:"engine,omitempty"`
+	Workers    int               `json:"workers,omitempty"`
+	Seed       int64             `json:"seed,omitempty"`
+	Flags      map[string]string `json:"flags,omitempty"`
+}
+
+// Digest returns the lowercase hex SHA-256 of the canonical JSON form.
+func (c Config) Digest() string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Config is plain scalars and a string map; Marshal cannot fail.
+		panic("ledger: config marshal: " + err.Error())
+	}
+	return BlobDigest(data)
+}

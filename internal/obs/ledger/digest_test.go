@@ -1,0 +1,39 @@
+package ledger
+
+import "testing"
+
+func TestConfigDigestDeterministic(t *testing.T) {
+	a := Config{Tool: "ssbench", Experiment: "group", N: 32768, Ranks: 8,
+		Steps: 2, Engine: "event", Workers: 4, Seed: 1,
+		Flags: map[string]string{"quick": "false", "theta": "0.7"}}
+	b := Config{Tool: "ssbench", Experiment: "group", N: 32768, Ranks: 8,
+		Steps: 2, Engine: "event", Workers: 4, Seed: 1,
+		Flags: map[string]string{"theta": "0.7", "quick": "false"}}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("equal configs digest differently: %s vs %s", a.Digest(), b.Digest())
+	}
+	if len(a.Digest()) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", a.Digest())
+	}
+}
+
+func TestConfigDigestFieldSensitivity(t *testing.T) {
+	base := Config{Tool: "ssbench", Experiment: "group", N: 32768, Seed: 1}
+	variants := []Config{
+		{Tool: "spacesim", Experiment: "group", N: 32768, Seed: 1},
+		{Tool: "ssbench", Experiment: "treebuild", N: 32768, Seed: 1},
+		{Tool: "ssbench", Experiment: "group", N: 4096, Seed: 1},
+		{Tool: "ssbench", Experiment: "group", N: 32768, Seed: 2},
+		{Tool: "ssbench", Experiment: "group", N: 32768, Seed: 1, Engine: "event"},
+		{Tool: "ssbench", Experiment: "group", N: 32768, Seed: 1,
+			Flags: map[string]string{"quick": "true"}},
+	}
+	seen := map[string]bool{base.Digest(): true}
+	for i, v := range variants {
+		d := v.Digest()
+		if seen[d] {
+			t.Fatalf("variant %d collides with an earlier config", i)
+		}
+		seen[d] = true
+	}
+}

@@ -1,0 +1,132 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(exp string, metrics map[string]float64) *Record {
+	return &Record{
+		Config: Config{Tool: "ssbench", Experiment: exp, N: 4096, Ranks: 4,
+			Engine: "event", Workers: 4, Seed: 1},
+		Build:   Prov(),
+		Metrics: metrics,
+	}
+}
+
+func TestAppendAndRecordsRoundtrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := []byte(`{"results":[],"schema_version":3}`)
+	id1, err := s.Append(testRecord("group", map[string]float64{"makespan_sec": 1.5}),
+		map[string][]byte{"BENCH_treecode.json": art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Append(testRecord("group", map[string]float64{"makespan_sec": 1.6}),
+		map[string][]byte{"BENCH_treecode.json": art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatalf("distinct appends share id %s", id1)
+	}
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].ID != id1 || recs[1].ID != id2 {
+		t.Fatalf("order/id mismatch: %s %s vs %s %s", recs[0].ID, recs[1].ID, id1, id2)
+	}
+	if recs[0].ConfigDigest == "" || recs[0].ConfigDigest != recs[1].ConfigDigest {
+		t.Fatalf("config digests differ for identical configs: %q vs %q",
+			recs[0].ConfigDigest, recs[1].ConfigDigest)
+	}
+	if recs[0].SchemaVersion != SchemaVersion {
+		t.Fatalf("schema_version %d, want %d", recs[0].SchemaVersion, SchemaVersion)
+	}
+	if recs[0].Metrics["makespan_sec"] != 1.5 {
+		t.Fatalf("metrics lost in roundtrip: %v", recs[0].Metrics)
+	}
+}
+
+func TestBlobsContentAddressedAndVerified(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(`{"critical_path":{},"makespan_sec":2}`)
+	d1, err := s.PutBlob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.PutBlob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("identical bytes got two digests: %s %s", d1, d2)
+	}
+	entries, err := os.ReadDir(filepath.Join(s.Dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("blob dir has %d entries, want 1 (dedup)", len(entries))
+	}
+	back, err := s.ReadBlob(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(data) {
+		t.Fatalf("blob roundtrip mismatch")
+	}
+	// Corrupt the blob on disk: ReadBlob must refuse it.
+	if err := os.WriteFile(s.BlobPath(d1), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadBlob(d1); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("tampered blob read err = %v, want corrupt error", err)
+	}
+}
+
+func TestFindByPrefix(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Append(testRecord("group", nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{id, id[:6]} {
+		rec, err := s.Find(q)
+		if err != nil {
+			t.Fatalf("Find(%q): %v", q, err)
+		}
+		if rec.ID != id {
+			t.Fatalf("Find(%q) = %s, want %s", q, rec.ID, id)
+		}
+	}
+	if _, err := s.Find("ffffff"); err == nil {
+		t.Fatal("Find of unknown id succeeded")
+	}
+}
+
+func TestRecordsEmptyLedger(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Records()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty ledger: recs=%v err=%v", recs, err)
+	}
+}

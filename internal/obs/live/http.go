@@ -22,7 +22,11 @@ import (
 //	/debug/pprof/   net/http/pprof (profile, heap, trace, ...)
 //
 // All endpoints are read-only and safe while a run is in flight.
-func Handler(s *Sampler) http.Handler {
+//
+// Extra page trees — the run-ledger dashboard, for one — are attached via
+// Mounts; live itself stays ignorant of what it hosts, which keeps the
+// dependency arrow pointing into this package only.
+func Handler(s *Sampler, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -47,14 +51,36 @@ func Handler(s *Sampler) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	var extra []string
+	for _, m := range mounts {
+		if m.Prefix == "" || m.Handler == nil {
+			continue
+		}
+		// Register both the bare prefix and the subtree so /runs and
+		// /runs/{id} land on the same mounted handler.
+		mux.Handle(m.Prefix, m.Handler)
+		mux.Handle(strings.TrimSuffix(m.Prefix, "/")+"/", m.Handler)
+		extra = append(extra, m.Prefix)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		fmt.Fprint(w, "spacesim live telemetry\n\n/metrics\n/metrics.json\n/series.json\n/progress.json\n/debug/pprof/\n")
+		for _, p := range extra {
+			fmt.Fprintln(w, p)
+		}
 	})
 	return mux
+}
+
+// Mount attaches an extra handler subtree to the live server — e.g. the
+// run-ledger dashboard at /runs. The prefix is registered both bare and as
+// a subtree.
+type Mount struct {
+	Prefix  string
+	Handler http.Handler
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -147,13 +173,14 @@ type Server struct {
 
 // Serve starts an HTTP server for s on addr (host:port; port 0 picks a
 // free port) and returns once the listener is bound. The server runs until
-// Close.
-func Serve(addr string, s *Sampler) (*Server, error) {
+// Close. Extra mounts (the run-ledger dashboard) are passed through to
+// Handler.
+func Serve(addr string, s *Sampler, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(s)}
+	srv := &http.Server{Handler: Handler(s, mounts...)}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }
