@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke serve-smoke ci all
 
 all: build test vet fmt-check
 
@@ -13,7 +13,7 @@ test:
 # Race-detector pass over the packages with host concurrency (the grouped
 # force engine's worker pool and the rank goroutines).
 race:
-	$(GO) test -race ./internal/core/... ./internal/gravity/... ./internal/htree/... ./internal/mp/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/gravity/... ./internal/htree/... ./internal/mp/... ./internal/obs/... ./internal/serve/...
 
 vet:
 	$(GO) vet ./...
@@ -115,7 +115,62 @@ ledger-smoke:
 	/tmp/spacesim-smoke-ssbench report -ledger /tmp/spacesim-smoke-ledger -html /tmp/spacesim-smoke-ledger-runs.html
 	$(GO) run ./cmd/tracecheck -ledger /tmp/spacesim-smoke-ledger
 
+# Job-server smoke: the crash-safety story end to end. A spacesimd daemon
+# takes a job, is killed -9 mid-run after its first checkpoint, and a
+# restarted daemon replays the journal, resumes the job from the checkpoint
+# (resumed_step > 0), and finishes it. A duplicate submission must then be a
+# cache hit (asserted in the job record and the /metrics counter), a
+# no_cache submission must recompute to the identical result digest, and a
+# SIGTERM must drain the daemon to a zero exit.
+serve-smoke:
+	$(GO) build -o /tmp/spacesimd-smoke ./cmd/spacesimd
+	rm -rf /tmp/spacesim-smoke-serve
+	/tmp/spacesimd-smoke -addr 127.0.0.1:17073 -state /tmp/spacesim-smoke-serve \
+		-workers 1 -ledger "" >/tmp/spacesim-smoke-serve.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:17073/jobs >/dev/null; then up=1; break; fi; sleep 0.1; done; \
+	[ $$up = 1 ] || { echo "serve-smoke: daemon never came up"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf -X POST http://127.0.0.1:17073/jobs \
+		-d '{"n":6000,"ranks":4,"steps":10,"checkpoint_every":1,"seed":3}' >/dev/null \
+		|| { echo "serve-smoke: submit failed"; kill -9 $$pid; exit 1; }; \
+	ck=0; for i in $$(seq 1 100); do \
+		if ls /tmp/spacesim-smoke-serve/jobs/*/ck-* >/dev/null 2>&1; then ck=1; break; fi; sleep 0.1; done; \
+	[ $$ck = 1 ] || { echo "serve-smoke: no checkpoint appeared before the kill"; kill -9 $$pid; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	echo "serve-smoke: daemon killed -9 mid-job after its first checkpoint"
+	/tmp/spacesimd-smoke -addr 127.0.0.1:17073 -state /tmp/spacesim-smoke-serve \
+		-workers 1 -ledger "" >>/tmp/spacesim-smoke-serve.log 2>&1 & pid=$$!; \
+	ok=0; for i in $$(seq 1 300); do \
+		if curl -sf http://127.0.0.1:17073/jobs 2>/dev/null | grep -q '"state": "done"'; then ok=1; break; fi; sleep 0.2; done; \
+	[ $$ok = 1 ] || { echo "serve-smoke: job never finished after restart"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://127.0.0.1:17073/jobs | grep -q '"resumed_step": [1-9]' \
+		|| { echo "serve-smoke: restarted job recomputed instead of resuming"; kill $$pid; exit 1; }; \
+	echo "serve-smoke: journal replayed, job resumed from its checkpoint"; \
+	curl -sf -X POST http://127.0.0.1:17073/jobs \
+		-d '{"n":6000,"ranks":4,"steps":10,"checkpoint_every":1,"seed":3}' >/dev/null \
+		|| { echo "serve-smoke: duplicate submit failed"; kill $$pid; exit 1; }; \
+	ok=0; for i in $$(seq 1 100); do \
+		if [ "$$(curl -sf http://127.0.0.1:17073/jobs | grep -c '"state": "done"')" -ge 2 ]; then ok=1; break; fi; sleep 0.1; done; \
+	[ $$ok = 1 ] || { echo "serve-smoke: duplicate job never finished"; kill $$pid; exit 1; }; \
+	curl -sf http://127.0.0.1:17073/jobs | grep -q '"cache_hit": true' \
+		|| { echo "serve-smoke: duplicate submission missed the cache"; kill $$pid; exit 1; }; \
+	curl -sf http://127.0.0.1:17073/metrics | grep -q '^spacesim_serve_cache_hits 1' \
+		|| { echo "serve-smoke: cache_hits counter not 1"; kill $$pid; exit 1; }; \
+	echo "serve-smoke: duplicate submission was a cache hit"; \
+	curl -sf -X POST http://127.0.0.1:17073/jobs \
+		-d '{"n":6000,"ranks":4,"steps":10,"checkpoint_every":1,"seed":3,"no_cache":true}' >/dev/null \
+		|| { echo "serve-smoke: no_cache submit failed"; kill $$pid; exit 1; }; \
+	ok=0; for i in $$(seq 1 300); do \
+		if [ "$$(curl -sf http://127.0.0.1:17073/jobs | grep -c '"state": "done"')" -ge 3 ]; then ok=1; break; fi; sleep 0.2; done; \
+	[ $$ok = 1 ] || { echo "serve-smoke: no_cache job never finished"; kill $$pid; exit 1; }; \
+	nd=$$(curl -sf http://127.0.0.1:17073/jobs | grep -o '"result_digest": "[0-9a-f]*"' | sort -u | wc -l); \
+	[ "$$nd" -eq 1 ] || { echo "serve-smoke: $$nd distinct result digests across resumed/cached/recomputed runs, want 1"; kill $$pid; exit 1; }; \
+	echo "serve-smoke: kill-9-resumed, cached, and no_cache-recomputed digests all identical"; \
+	kill -TERM $$pid; wait $$pid \
+		|| { echo "serve-smoke: drain exited nonzero"; exit 1; }; \
+	echo "serve-smoke: SIGTERM drained cleanly (exit 0)"
+
 # Full local CI pass: formatting, static checks, tests, race detector, and
 # the observability + trace-analysis + fault-injection + tree-build +
-# engine-scaling + live-telemetry + run-ledger smoke runs.
-ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke
+# engine-scaling + live-telemetry + run-ledger + job-server smoke runs.
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke serve-smoke

@@ -31,11 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"spacesim/internal/core"
@@ -108,16 +110,26 @@ func main() {
 		}()
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	var ics []core.Body
-	switch *ic {
-	case "plummer":
-		ics = core.PlummerSphere(rng, *n, 1.0)
-	case "coldsphere":
-		ics = core.ColdSphere(rng, *n, 1.0)
-	default:
-		log.Fatalf("unknown initial condition %q", *ic)
+	ics, err := core.MakeICs(*ic, *seed, *n)
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	// Graceful interrupt: the first SIGINT/SIGTERM raises a flag that rank
+	// 0 polls at step boundaries — the run checkpoints (when enabled),
+	// gathers its partial state, and the process flushes artifacts and
+	// exits nonzero. A second signal force-quits immediately.
+	var stopFlag atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		stopFlag.Store(true)
+		fmt.Fprintln(os.Stderr, "spacesim: signal: stopping at the next step boundary (send again to force quit)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "spacesim: second signal: force quit")
+		os.Exit(130)
+	}()
 
 	// Live telemetry: a background sampler snapshots the metrics registry
 	// into ring-buffer series, served over HTTP during the run. newObs
@@ -176,6 +188,7 @@ func main() {
 		},
 		GatherBodies: *ckpt != "" || *fSeed != 0,
 		Engine:       eng, EngineWorkers: *engineW,
+		Interrupt: stopFlag.Load,
 	}
 
 	var res core.Result
@@ -191,8 +204,14 @@ func main() {
 		}
 	}
 
-	e0 := res.EnergyHistory[0]
-	eN := res.EnergyHistory[len(res.EnergyHistory)-1]
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "spacesim: interrupted at step %d/%d — flushing partial state\n",
+			res.CompletedSteps, *steps)
+	}
+	// On an interrupted run only the completed steps carry diagnostics.
+	hist := res.EnergyHistory[:res.CompletedSteps+1]
+	e0 := hist[0]
+	eN := hist[len(hist)-1]
 	fmt.Printf("%s: %d bodies on %d virtual processors, %d steps\n", cl.Name, *n, *procs, *steps)
 	fmt.Printf("  energy %.6f -> %.6f (drift %.2e)\n", e0.Total(), eN.Total(),
 		abs(eN.Total()-e0.Total())/abs(e0.Total()))
@@ -220,7 +239,12 @@ func main() {
 	sampler.Stop()
 
 	artifact := ""
-	if *report {
+	if *report && res.Interrupted {
+		// The event log stops at the interrupt; a trace analysis over a
+		// partial run would mislead, and a partial result must never enter
+		// the ledger under the full configuration's digest.
+		fmt.Fprintln(os.Stderr, "spacesim: interrupted — skipping the analysis report")
+	} else if *report {
 		rep, err := analysis.Analyze(o, cl, analysis.Options{})
 		if err != nil {
 			log.Fatalf("report: %v", err)
@@ -254,6 +278,9 @@ func main() {
 		fmt.Printf("  trace: %s (chrome://tracing or https://ui.perfetto.dev)\n", *trace)
 	}
 
+	if res.Interrupted {
+		os.Exit(1)
+	}
 	appendRun(*ledgerD, lcfg, artifact, res)
 }
 

@@ -88,15 +88,71 @@ func ckPath(dir string, step, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s.%04d", ckName(step), rank))
 }
 
+// ckEnergyName is the base name of the rank-0 energy sidecar stripe: the
+// conservation diagnostics through the checkpointed step. The trailing 'E'
+// keeps it out of FindCheckpoints' step parse. The sidecar makes a
+// checkpoint set self-contained: a fresh process (the job server after a
+// kill -9) can resume and still report the full, bit-identical energy
+// history, which an in-process restart would have kept in memory.
+func ckEnergyName(step int) string { return fmt.Sprintf("ck-%06dE", step) }
+
+// ckEnergyPath returns the sidecar path for one checkpoint.
+func ckEnergyPath(dir string, step int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%04d", ckEnergyName(step), 0))
+}
+
+// energyFloats is the serialized width of one Energies record.
+const energyFloats = 8
+
+// encodeEnergies flattens an energy history for the sidecar stripe.
+func encodeEnergies(hist []Energies) []float64 {
+	out := make([]float64, 0, len(hist)*energyFloats)
+	for _, e := range hist {
+		out = append(out,
+			e.Kinetic, e.Potential,
+			e.Momentum[0], e.Momentum[1], e.Momentum[2],
+			e.AngMom[0], e.AngMom[1], e.AngMom[2],
+		)
+	}
+	return out
+}
+
+// decodeEnergies is the inverse of encodeEnergies.
+func decodeEnergies(data []float64) ([]Energies, error) {
+	if len(data)%energyFloats != 0 {
+		return nil, fmt.Errorf("energy sidecar of %d floats is not a whole number of records", len(data))
+	}
+	hist := make([]Energies, len(data)/energyFloats)
+	for i := range hist {
+		f := data[i*energyFloats:]
+		hist[i] = Energies{
+			Kinetic:   f[0],
+			Potential: f[1],
+			Momentum:  vec.V3{f[2], f[3], f[4]},
+			AngMom:    vec.V3{f[5], f[6], f[7]},
+		}
+	}
+	return hist, nil
+}
+
 // writeCheckpoint writes one rank's stripe for the checkpoint at step,
 // charging the virtual disk time, and applies any injected corruption.
-func writeCheckpoint(r *mp.Rank, cp *CheckpointConfig, step int, local []Body, acc []vec.V3) {
+// Rank 0 additionally writes the energy sidecar carrying hist (the
+// diagnostics for steps 0..step).
+func writeCheckpoint(r *mp.Rank, cp *CheckpointConfig, step int, local []Body, acc []vec.V3, hist []Energies) {
 	data := encodeState(local, acc)
 	path, err := pario.WriteStripe(cp.Dir, ckName(step), r.ID(), data)
 	if err != nil {
 		panic(fmt.Sprintf("core: checkpoint write failed: %v", err))
 	}
 	r.ChargeDisk(float64(len(data) * 8))
+	if r.ID() == 0 {
+		edata := encodeEnergies(hist)
+		if _, err := pario.WriteStripe(cp.Dir, ckEnergyName(step), 0, edata); err != nil {
+			panic(fmt.Sprintf("core: energy sidecar write failed: %v", err))
+		}
+		r.ChargeDisk(float64(len(edata) * 8))
+	}
 	if cp.Corrupt != nil && cp.Corrupt(r.ID(), step) {
 		corruptStripe(path)
 	}
@@ -152,37 +208,48 @@ func FindCheckpoints(dir string) []int {
 	return steps
 }
 
-// loadCheckpoint reads and verifies every rank's stripe for one checkpoint.
-// A missing or corrupt stripe fails the whole checkpoint (wrapped
-// pario.ErrCorrupt where applicable) so the caller can fall back to an
-// older one; pario.ErrWrongRank is passed through — a misrouted stripe is a
-// bug, not a disk fault.
-func loadCheckpoint(dir string, step, nprocs int) ([][]float64, error) {
+// loadCheckpoint reads and verifies every rank's stripe for one checkpoint,
+// plus the rank-0 energy sidecar. A missing or corrupt stripe fails the
+// whole checkpoint (wrapped pario.ErrCorrupt where applicable) so the
+// caller can fall back to an older one; pario.ErrWrongRank is passed
+// through — a misrouted stripe is a bug, not a disk fault.
+func loadCheckpoint(dir string, step, nprocs int) ([][]float64, []Energies, error) {
 	restore := make([][]float64, nprocs)
 	for rank := 0; rank < nprocs; rank++ {
 		data, err := pario.ReadStripe(ckPath(dir, step, rank), rank)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		restore[rank] = data
 	}
-	return restore, nil
+	eraw, err := pario.ReadStripe(ckEnergyPath(dir, step), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	hist, err := decodeEnergies(eraw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(hist) != step+1 {
+		return nil, nil, fmt.Errorf("energy sidecar at step %d carries %d records, want %d", step, len(hist), step+1)
+	}
+	return restore, hist, nil
 }
 
 // lastGoodCheckpoint walks the on-disk checkpoints newest-first and returns
-// the first one whose stripes all verify, together with how many corrupt
-// stripe sets were skipped on the way. ok=false means recovery must restart
-// from the initial conditions. A rank-mismatched stripe aborts with an
-// error: that is never disk damage.
-func lastGoodCheckpoint(dir string, nprocs int) (step int, restore [][]float64, corrupt int, ok bool, err error) {
+// the first one whose stripes (and energy sidecar) all verify, together
+// with how many corrupt stripe sets were skipped on the way. ok=false means
+// recovery must restart from the initial conditions. A rank-mismatched
+// stripe aborts with an error: that is never disk damage.
+func lastGoodCheckpoint(dir string, nprocs int) (step int, restore [][]float64, hist []Energies, corrupt int, ok bool, err error) {
 	steps := FindCheckpoints(dir)
 	for i := len(steps) - 1; i >= 0; i-- {
-		data, lerr := loadCheckpoint(dir, steps[i], nprocs)
+		data, energies, lerr := loadCheckpoint(dir, steps[i], nprocs)
 		if lerr == nil {
-			return steps[i], data, corrupt, true, nil
+			return steps[i], data, energies, corrupt, true, nil
 		}
 		if errors.Is(lerr, pario.ErrWrongRank) {
-			return 0, nil, corrupt, false, lerr
+			return 0, nil, nil, corrupt, false, lerr
 		}
 		if errors.Is(lerr, pario.ErrCorrupt) {
 			corrupt++
@@ -190,5 +257,5 @@ func lastGoodCheckpoint(dir string, nprocs int) (step int, restore [][]float64, 
 		// Missing stripes (a checkpoint interrupted by the crash) are
 		// skipped silently: that checkpoint never completed.
 	}
-	return 0, nil, corrupt, false, nil
+	return 0, nil, nil, corrupt, false, nil
 }

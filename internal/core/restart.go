@@ -27,6 +27,13 @@ type RecoveryConfig struct {
 	// share an Obs across segments; the completing segment's handle is
 	// available as Result.Comm.Obs.
 	NewObs func(attempt int) *obs.Obs
+	// ResumeFromDisk starts the first segment from the newest intact
+	// checkpoint already under Checkpoint.Dir instead of the initial
+	// conditions — the job-server path after a daemon kill or drain. The
+	// restored energy sidecar refills the history prefix, so the completed
+	// run is bit-identical to one that was never stopped. With no usable
+	// checkpoint on disk the run starts from the initial conditions.
+	ResumeFromDisk bool
 }
 
 // RecoveryStats summarizes what fault recovery cost a run.
@@ -62,6 +69,11 @@ type RecoveryStats struct {
 	// TotalVirtualSec sums elapsed virtual time over every segment — the
 	// machine-time cost of the run including all replay.
 	TotalVirtualSec float64
+	// ResumedFromStep is the checkpoint step the first segment started
+	// from under ResumeFromDisk (0 = the initial conditions); Resumed
+	// reports whether an on-disk checkpoint was actually used.
+	ResumedFromStep int
+	Resumed         bool
 }
 
 // RunRecovered executes a simulation under fault injection with
@@ -94,6 +106,21 @@ func RunRecovered(cfg RecoveryConfig, ics []Body) (Result, RecoveryStats, error)
 
 	offset := 0.0 // global virtual time at the current segment's clock zero
 	seg := segment{}
+	if cfg.ResumeFromDisk && cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 {
+		step, restore, hist, corrupt, ok, err := lastGoodCheckpoint(cfg.Checkpoint.Dir, cfg.Procs)
+		st.CorruptStripes += corrupt
+		if err != nil {
+			return master, st, err
+		}
+		if ok {
+			seg = segment{startStep: step, restore: restore, energies: hist}
+			st.ResumedFromStep = step
+			st.Resumed = true
+			// The sidecar history is the master prefix: the resumed
+			// segment records energies only from step+1 on.
+			copy(master.EnergyHistory, hist)
+		}
+	}
 	for {
 		rc := cfg.RunConfig
 		if cfg.NewObs != nil {
@@ -156,7 +183,7 @@ func RunRecovered(cfg RecoveryConfig, ics []Body) (Result, RecoveryStats, error)
 		}
 
 		// Roll back to the newest checkpoint that verifies.
-		step, restore, corrupt, ok, err := lastGoodCheckpoint(cfg.Checkpoint.Dir, cfg.Procs)
+		step, restore, hist, corrupt, ok, err := lastGoodCheckpoint(cfg.Checkpoint.Dir, cfg.Procs)
 		st.CorruptStripes += corrupt
 		if err != nil {
 			return master, st, err
@@ -166,7 +193,7 @@ func RunRecovered(cfg RecoveryConfig, ics []Body) (Result, RecoveryStats, error)
 			if ck, inSeg := res.CheckpointClocks[step]; inSeg {
 				lost = res.ElapsedVirtual - ck
 			}
-			seg = segment{startStep: step, restore: restore}
+			seg = segment{startStep: step, restore: restore, energies: hist}
 		} else {
 			seg = segment{}
 		}
@@ -239,8 +266,10 @@ func accumulate(master, res *Result, startStep int) {
 	master.Bodies = res.Bodies
 	master.Comm = res.Comm
 	master.CompletedSteps = res.CompletedSteps
+	master.Interrupted = res.Interrupted
 	master.Gflops = res.Gflops
 	master.MflopsPerProc = res.MflopsPerProc
+	master.CheckpointClocks = res.CheckpointClocks
 }
 
 func maxInt(a, b int) int {

@@ -133,6 +133,154 @@ func TestRecoveryCorruptStripeFallsBack(t *testing.T) {
 	assertBitIdentical(t, base, rec)
 }
 
+// TestRecoveryRepeatedCrashes pins the multi-cycle chain: crash, recover,
+// crash again later in the replay, recover again — and the final state is
+// still bit-identical to the uninterrupted twin.
+func TestRecoveryRepeatedCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ics := PlummerSphere(rng, 160, 1.0)
+
+	base := Run(recoveryBaseCfg(t.TempDir()), ics)
+	if base.Err != nil {
+		t.Fatalf("baseline failed: %v", base.Err)
+	}
+
+	// First crash at ~45% of the fault-free runtime; the second is placed
+	// late enough (global time) to fire during the replay segment.
+	T := base.ElapsedVirtual
+	cfg := RecoveryConfig{
+		RunConfig: recoveryBaseCfg(t.TempDir()),
+		Injector: faults.Manual(4, 4*T,
+			faults.Fault{Kind: faults.RankCrash, Rank: 2, Start: 0.45 * T, Cause: "power supply"},
+			faults.Fault{Kind: faults.RankCrash, Rank: 1, Start: 0.80 * T, Cause: "DRAM stick"},
+		),
+	}
+	rec, st, err := RunRecovered(cfg, ics)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (stats %+v)", err, st)
+	}
+	if st.Crashes != 2 {
+		t.Fatalf("expected both crashes to fire, got %d (times %v)", st.Crashes, st.CrashTimes)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("expected 3 segments, got %d", st.Attempts)
+	}
+	if len(st.RestoredSteps) != 2 {
+		t.Fatalf("expected 2 rollbacks, got %v", st.RestoredSteps)
+	}
+	if st.RestoredSteps[1] < st.RestoredSteps[0] {
+		t.Fatalf("second rollback went backwards: %v", st.RestoredSteps)
+	}
+	assertBitIdentical(t, base, rec)
+}
+
+// TestResumeFromDiskBitIdentical pins the job-server restart path: a run is
+// interrupted at a step boundary (flushing a checkpoint + energy sidecar),
+// the process "dies", and a fresh RunRecovered with ResumeFromDisk picks up
+// from the on-disk stripes — finishing with bodies AND the full energy
+// history bit-identical to a run that was never stopped.
+func TestResumeFromDiskBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ics := PlummerSphere(rng, 160, 1.0)
+
+	// Both runs poll Interrupt so their virtual schedules match exactly.
+	mkCfg := func(dir string, stopAfter int) RunConfig {
+		cfg := recoveryBaseCfg(dir)
+		polls := 0
+		cfg.Interrupt = func() bool {
+			polls++
+			return stopAfter > 0 && polls > stopAfter
+		}
+		return cfg
+	}
+
+	base := Run(mkCfg(t.TempDir(), 0), ics)
+	if base.Err != nil {
+		t.Fatalf("baseline failed: %v", base.Err)
+	}
+
+	dir := t.TempDir()
+	part := Run(mkCfg(dir, 3), ics)
+	if part.Err != nil || !part.Interrupted {
+		t.Fatalf("expected a clean interrupt, got err=%v interrupted=%v", part.Err, part.Interrupted)
+	}
+	if part.CompletedSteps != 3 {
+		t.Fatalf("interrupted after %d steps, want 3", part.CompletedSteps)
+	}
+
+	rec, st, err := RunRecovered(RecoveryConfig{
+		RunConfig:      mkCfg(dir, 0),
+		ResumeFromDisk: true,
+	}, ics)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !st.Resumed || st.ResumedFromStep != 3 {
+		t.Fatalf("expected resume from the interrupt-flushed checkpoint at step 3, got resumed=%v step=%d",
+			st.Resumed, st.ResumedFromStep)
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("resume took %d segments, want 1", st.Attempts)
+	}
+	assertBitIdentical(t, base, rec)
+}
+
+// TestResumeFromDiskRepeated chains two kill/resume cycles through the
+// on-disk path: interrupt, resume and interrupt again later, resume to
+// completion — still bit-identical to the uninterrupted twin.
+func TestResumeFromDiskRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ics := PlummerSphere(rng, 160, 1.0)
+
+	mkCfg := func(dir string, stopAfter int) RunConfig {
+		cfg := recoveryBaseCfg(dir)
+		polls := 0
+		cfg.Interrupt = func() bool {
+			polls++
+			return stopAfter > 0 && polls > stopAfter
+		}
+		return cfg
+	}
+
+	base := Run(mkCfg(t.TempDir(), 0), ics)
+	dir := t.TempDir()
+
+	part := Run(mkCfg(dir, 2), ics)
+	if !part.Interrupted || part.CompletedSteps != 2 {
+		t.Fatalf("first interrupt: completed=%d interrupted=%v", part.CompletedSteps, part.Interrupted)
+	}
+
+	// Second cycle: resume from step 2, interrupt again two boundaries
+	// later (the resumed segment polls at steps 2, 3, 4, ...; the third
+	// poll fires, stopping at step 4 — the cadence checkpoint just
+	// written).
+	mid, st, err := RunRecovered(RecoveryConfig{
+		RunConfig:      mkCfg(dir, 2),
+		ResumeFromDisk: true,
+	}, ics)
+	if err != nil {
+		t.Fatalf("mid resume failed: %v", err)
+	}
+	if !st.Resumed || st.ResumedFromStep != 2 {
+		t.Fatalf("mid resume from step %d (resumed=%v), want 2", st.ResumedFromStep, st.Resumed)
+	}
+	if !mid.Interrupted || mid.CompletedSteps != 4 {
+		t.Fatalf("second interrupt: completed=%d interrupted=%v", mid.CompletedSteps, mid.Interrupted)
+	}
+
+	rec, st2, err := RunRecovered(RecoveryConfig{
+		RunConfig:      mkCfg(dir, 0),
+		ResumeFromDisk: true,
+	}, ics)
+	if err != nil {
+		t.Fatalf("final resume failed: %v", err)
+	}
+	if !st2.Resumed || st2.ResumedFromStep != 4 {
+		t.Fatalf("final resume from step %d, want 4", st2.ResumedFromStep)
+	}
+	assertBitIdentical(t, base, rec)
+}
+
 // TestRecoveryNoFaults: the recovery driver on a clean schedule is exactly
 // one segment and matches a plain Run.
 func TestRecoveryNoFaults(t *testing.T) {

@@ -49,6 +49,11 @@ type Result struct {
 	CheckpointWrites int
 	CheckpointClocks map[int]float64
 	CheckpointSec    float64
+	// Interrupted reports that RunConfig.Interrupt stopped the run at a
+	// step boundary: the state through CompletedSteps is checkpointed
+	// (when a checkpoint config is set), the partial state is gathered,
+	// and Err stays nil — an interrupted run is drained, not failed.
+	Interrupted bool
 }
 
 // RunConfig couples the cluster model and run controls.
@@ -70,6 +75,17 @@ type RunConfig struct {
 	// (0 = host cores).
 	Engine        mp.Engine
 	EngineWorkers int
+	// Interrupt, when non-nil, is polled host-side by rank 0 at every step
+	// boundary and the decision broadcast to all ranks (one extra scalar
+	// allreduce per step, so the poll never desynchronizes the world). A
+	// true return makes every rank flush a checkpoint at the boundary
+	// (when Checkpoint is set and the step is not already checkpointed),
+	// gather the partial state, and return with Result.Interrupted — the
+	// cooperative stop behind SIGTERM drains and watchdog deadlines.
+	// Physics is unaffected: the poll only adds collective time, so an
+	// interrupted-then-resumed run completes bit-identical to an
+	// uninterrupted run with the same Interrupt wiring.
+	Interrupt func() bool
 }
 
 // runOptions maps the engine-related RunConfig knobs onto the message
@@ -80,10 +96,13 @@ func (cfg RunConfig) runOptions() mp.RunOptions {
 
 // segment describes where a run (re)starts: from the initial conditions
 // (zero value), or from a restored checkpoint at startStep with each rank's
-// verified stripe payload in restore.
+// verified stripe payload in restore and the energy history through
+// startStep in energies (seeded into the segment so later sidecar writes —
+// and the segment's own Result — always carry a complete prefix).
 type segment struct {
 	startStep int
 	restore   [][]float64
+	energies  []Energies
 }
 
 // Run executes a parallel N-body simulation of the given bodies. The input
@@ -100,11 +119,13 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 	opt := cfg.Opt.withDefaults()
 	res := Result{Steps: cfg.Steps}
 	energyAt := make([]Energies, cfg.Steps+1)
+	copy(energyAt, seg.energies)
 	var totalInts, totalFetches int64
 	var totalFlops float64
 	var imbHist []float64
 	var gathered []Body
 	completed := seg.startStep
+	interrupted := false
 	ckWrites := 0
 	ckSec := 0.0
 	ckClocks := map[int]float64{}
@@ -152,6 +173,14 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 			return bodies, acc, pot, ts
 		}
 
+		// lastCk is the most recent step this world checkpointed (the
+		// restored step on a resume — its stripes are already on disk), so
+		// an interrupt flush never rewrites an existing checkpoint.
+		lastCk := -1
+		if seg.restore != nil {
+			lastCk = seg.startStep
+		}
+
 		var acc []vec.V3
 		var pot []float64
 		var ts TraversalStats
@@ -182,6 +211,34 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 		}
 
 		for s := seg.startStep; s < cfg.Steps; s++ {
+			// Cooperative stop: rank 0 polls the host-side flag, the
+			// decision rides a collective so every rank agrees on the
+			// boundary, and the agreed state is flushed as a checkpoint
+			// before the world drains into the gather phase.
+			if cfg.Interrupt != nil {
+				flag := 0.0
+				if r.ID() == 0 && cfg.Interrupt() {
+					flag = 1
+				}
+				if r.AllreduceScalar(flag, mp.OpMax) > 0 {
+					if cp != nil && lastCk != s {
+						prog.Phase("interrupt-checkpoint")
+						t0 := r.Clock()
+						writeCheckpoint(r, cp, s, local, acc, energyAt[:s+1])
+						if r.ID() == 0 {
+							ckWrites++
+							ckClocks[s] = r.Clock()
+							ckSec += r.Clock() - t0
+							prog.Checkpoint()
+						}
+					}
+					if r.ID() == 0 {
+						interrupted = true
+						prog.State("interrupted")
+					}
+					break
+				}
+			}
 			prog.Phase("step")
 			endStep := r.Span("phase", "step")
 			// kick half, drift
@@ -207,7 +264,8 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 			if cp != nil && (s+1)%cp.Every == 0 && s+1 < cfg.Steps {
 				prog.Phase("checkpoint")
 				t0 := r.Clock()
-				writeCheckpoint(r, cp, s+1, local, acc)
+				writeCheckpoint(r, cp, s+1, local, acc, energyAt[:s+2])
+				lastCk = s + 1
 				if r.ID() == 0 {
 					ckWrites++
 					ckClocks[s+1] = r.Clock()
@@ -231,11 +289,11 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 		}
 	})
 
-	if p := st.Obs.Progress(); st.Err == nil {
+	if p := st.Obs.Progress(); st.Err != nil {
+		p.State("crashed")
+	} else if !interrupted {
 		p.Phase("done")
 		p.State("done")
-	} else {
-		p.State("crashed")
 	}
 
 	res.EnergyHistory = energyAt
@@ -252,6 +310,7 @@ func run(cfg RunConfig, ics []Body, seg segment) Result {
 	res.Comm = st
 	res.Err = st.Err
 	res.CompletedSteps = completed
+	res.Interrupted = interrupted
 	res.CheckpointWrites = ckWrites
 	res.CheckpointClocks = ckClocks
 	res.CheckpointSec = ckSec

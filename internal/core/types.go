@@ -11,6 +11,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -137,6 +138,23 @@ func ColdSphere(rng *rand.Rand, n int, radius float64) []Body {
 		}
 	}
 	return bodies
+}
+
+// Scenarios names the initial-condition generators MakeICs accepts.
+func Scenarios() []string { return []string{"plummer", "coldsphere"} }
+
+// MakeICs builds the seeded initial conditions for a named scenario — the
+// single construction path shared by the CLIs and the job server, so a
+// (scenario, seed, n) triple always produces the same bodies bit for bit.
+func MakeICs(scenario string, seed int64, n int) ([]Body, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch scenario {
+	case "plummer":
+		return PlummerSphere(rng, n, 1.0), nil
+	case "coldsphere":
+		return ColdSphere(rng, n, 1.0), nil
+	}
+	return nil, fmt.Errorf("core: unknown scenario %q (have %v)", scenario, Scenarios())
 }
 
 func randomDirection(rng *rand.Rand) vec.V3 {

@@ -202,36 +202,66 @@ func (s *Store) Append(rec *Record, artifacts map[string][]byte) (string, error)
 	return rec.ID, f.Close()
 }
 
-// Records reads every index record, oldest first. A missing index is an
-// empty ledger, not an error; a malformed line is an error (the index is
-// append-only and ours).
-func (s *Store) Records() ([]Record, error) {
-	f, err := os.Open(s.IndexPath())
+// ReadJSONL streams the non-empty lines of a JSONL file through fn with
+// torn-tail tolerance: when fn rejects the FINAL non-empty line — the
+// signature of a crash mid-append — the line is skipped and reported via
+// torn instead of failing the read, because an append-only journal loses
+// nothing but the record that was being written when the power went out. A
+// rejected line anywhere else is real corruption and returns fn's error
+// wrapped with its line number. A missing file reads as empty.
+func ReadJSONL(path string, fn func(line []byte) error) (torn bool, err error) {
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return false, nil
 		}
-		return nil, err
+		return false, err
 	}
 	defer f.Close()
-	var out []Record
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	lineNo := 0
+	pendingErr := error(nil) // a rejected line, fatal only if more lines follow
+	pendingLine := 0
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("ledger: %s line %d: %w", s.IndexPath(), lineNo, err)
+		if pendingErr != nil {
+			return false, fmt.Errorf("%s line %d: %w", path, pendingLine, pendingErr)
 		}
-		out = append(out, rec)
+		if err := fn(line); err != nil {
+			pendingErr, pendingLine = err, lineNo
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return false, err
+	}
+	return pendingErr != nil, nil
+}
+
+// Records reads every index record, oldest first. A missing index is an
+// empty ledger, not an error. A truncated final line (a writer crashed
+// mid-append) is skipped with a warning on stderr — the records before it
+// are intact by construction; a malformed line anywhere else is an error
+// (the index is append-only and ours).
+func (s *Store) Records() ([]Record, error) {
+	var out []Record
+	torn, err := ReadJSONL(s.IndexPath(), func(line []byte) error {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return err
+		}
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	if torn {
+		fmt.Fprintf(os.Stderr, "ledger: %s: skipping torn trailing record (crash mid-append)\n", s.IndexPath())
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeUnixNS < out[j].TimeUnixNS })
 	return out, nil

@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,5 +129,94 @@ func TestRecordsEmptyLedger(t *testing.T) {
 	recs, err := s.Records()
 	if err != nil || len(recs) != 0 {
 		t.Fatalf("empty ledger: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestRecordsTornWriteTolerance(t *testing.T) {
+	good1 := `{"schema_version":1,"id":"aaaaaaaaaaaa","time_unix_ns":1,"config_digest":"d1","config":{"tool":"ssbench"},"build":{},"metrics":{"makespan_sec":1.5}}`
+	good2 := `{"schema_version":1,"id":"bbbbbbbbbbbb","time_unix_ns":2,"config_digest":"d1","config":{"tool":"ssbench"},"build":{},"metrics":{"makespan_sec":1.6}}`
+	torn := `{"schema_version":1,"id":"cccccccccccc","time_un` // crash mid-append
+
+	cases := []struct {
+		name    string
+		index   string
+		wantIDs []string
+		wantErr bool
+	}{
+		{name: "all valid", index: good1 + "\n" + good2 + "\n",
+			wantIDs: []string{"aaaaaaaaaaaa", "bbbbbbbbbbbb"}},
+		{name: "torn final line skipped", index: good1 + "\n" + good2 + "\n" + torn,
+			wantIDs: []string{"aaaaaaaaaaaa", "bbbbbbbbbbbb"}},
+		{name: "torn final line no newline before", index: good1 + "\n" + torn,
+			wantIDs: []string{"aaaaaaaaaaaa"}},
+		{name: "corrupt middle line errors", index: good1 + "\n" + torn + "\n" + good2 + "\n",
+			wantErr: true},
+		{name: "empty index", index: "", wantIDs: nil},
+		{name: "blank lines only", index: "\n\n", wantIDs: nil},
+		{name: "trailing blank line after torn", index: good1 + "\n" + torn + "\n\n",
+			wantIDs: []string{"aaaaaaaaaaaa"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.IndexPath(), []byte(tc.index), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := s.Records()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Records() = %d records, want error", len(recs))
+				}
+				if !strings.Contains(err.Error(), "line 2") {
+					t.Fatalf("error %q does not name the corrupt line", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Records(): %v", err)
+			}
+			if len(recs) != len(tc.wantIDs) {
+				t.Fatalf("got %d records, want %d", len(recs), len(tc.wantIDs))
+			}
+			for i, id := range tc.wantIDs {
+				if recs[i].ID != id {
+					t.Fatalf("record %d id = %s, want %s", i, recs[i].ID, id)
+				}
+			}
+		})
+	}
+}
+
+func TestReadJSONLTornReported(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"a\":1}\n{\"bro"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var lines int
+	torn, err := ReadJSONL(path, func(line []byte) error {
+		var m map[string]int
+		if err := json.Unmarshal(line, &m); err != nil {
+			return err
+		}
+		lines++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("torn tail not reported")
+	}
+	if lines != 1 {
+		t.Fatalf("fn accepted %d lines, want 1", lines)
+	}
+	// A missing file is an empty, untorn read.
+	torn, err = ReadJSONL(filepath.Join(dir, "absent.jsonl"), func([]byte) error { return nil })
+	if err != nil || torn {
+		t.Fatalf("missing file: torn=%v err=%v", torn, err)
 	}
 }
