@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke serve-smoke ci all
+.PHONY: build test race vet fmt-check bench smoke analyze-smoke fault-smoke treebuild-smoke kernels-smoke scale-smoke live-smoke ledger-smoke serve-smoke ci all
 
 all: build test vet fmt-check
 
@@ -64,6 +64,16 @@ treebuild-smoke:
 	$(GO) run ./cmd/ssbench treebuild -quick -o /tmp/spacesim-smoke-treebuild.json
 	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-treebuild.json
 	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-treebuild.json /tmp/spacesim-smoke-treebuild.json
+
+# Kernel smoke: a quick variant x length x precision sweep of the force
+# kernels (which itself verifies the default float64 path is bit-identical
+# to the scalar reference and that the float32 RMS error stays inside the
+# pinned budget, exiting nonzero on either breach), schema-validation of
+# the v8 bench record, and a self-diff through the bench arm of the gate.
+kernels-smoke:
+	$(GO) run ./cmd/ssbench kernels -quick -o /tmp/spacesim-smoke-kernels.json
+	$(GO) run ./cmd/tracecheck -bench /tmp/spacesim-smoke-kernels.json
+	$(GO) run ./cmd/ssbench diff /tmp/spacesim-smoke-kernels.json /tmp/spacesim-smoke-kernels.json
 
 # Engine-scaling smoke: a small rank-count sweep under both the goroutine
 # oracle and the discrete-event scheduler (the sweep itself verifies that
@@ -173,4 +183,4 @@ serve-smoke:
 # Full local CI pass: formatting, static checks, tests, race detector, and
 # the observability + trace-analysis + fault-injection + tree-build +
 # engine-scaling + live-telemetry + run-ledger + job-server smoke runs.
-ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke scale-smoke live-smoke ledger-smoke serve-smoke
+ci: fmt-check vet test race smoke analyze-smoke fault-smoke treebuild-smoke kernels-smoke scale-smoke live-smoke ledger-smoke serve-smoke

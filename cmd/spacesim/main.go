@@ -5,7 +5,8 @@
 // Usage:
 //
 //	spacesim [-n 4000] [-procs 16] [-steps 10] [-dt 0.005] [-theta 0.7]
-//	         [-ic plummer|coldsphere] [-karp] [-checkpoint dir]
+//	         [-ic plummer|coldsphere] [-karp] [-precision float64|float32]
+//	         [-checkpoint dir]
 //	         [-faults seed] [-fault-accel 50] [-checkpoint-every 2]
 //	         [-verify-recovery]
 //	         [-trace trace.json] [-metrics metrics.json]
@@ -42,6 +43,7 @@ import (
 
 	"spacesim/internal/core"
 	"spacesim/internal/faults"
+	"spacesim/internal/gravity"
 	"spacesim/internal/machine"
 	"spacesim/internal/mp"
 	"spacesim/internal/netsim"
@@ -62,6 +64,7 @@ func main() {
 		eps     = flag.Float64("eps", 0.01, "Plummer softening")
 		ic      = flag.String("ic", "plummer", "initial condition: plummer|coldsphere")
 		karp    = flag.Bool("karp", false, "use the Karp reciprocal sqrt kernel")
+		prec    = flag.String("precision", "float64", "force-kernel accumulation precision: float64|float32")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		ckpt    = flag.String("checkpoint", "", "directory for a final striped checkpoint")
 		fSeed   = flag.Int64("faults", 0, "inject a seeded fault schedule (0 = off)")
@@ -82,6 +85,10 @@ func main() {
 	)
 	flag.Parse()
 	eng, err := mp.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	precision, err := gravity.ParsePrecision(*prec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,6 +179,7 @@ func main() {
 		Flags: map[string]string{
 			"theta": fmt.Sprint(*theta), "dt": fmt.Sprint(*dt),
 			"eps": fmt.Sprint(*eps), "karp": fmt.Sprint(*karp),
+			"precision": precision.String(),
 		},
 	}
 	if *fSeed != 0 {
@@ -185,6 +193,7 @@ func main() {
 		Cluster: cl, Procs: *procs, Steps: *steps,
 		Opt: core.Options{
 			Theta: *theta, Eps: *eps, DT: *dt, UseKarp: *karp,
+			Precision: precision,
 		},
 		GatherBodies: *ckpt != "" || *fSeed != 0,
 		Engine:       eng, EngineWorkers: *engineW,

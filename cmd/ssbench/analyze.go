@@ -96,6 +96,8 @@ func diffCmd(args []string) {
 		"allowed relative tree-construction time increase (bench records)")
 	scaleFrac := fs.Float64("scale-frac", 0.5,
 		"allowed relative ranks/sec drop in the engine scaling sweep (bench records)")
+	kernelFrac := fs.Float64("kernel-frac", 0.5,
+		"allowed relative ns/interaction increase per kernel configuration (bench records)")
 	baseline := fs.Bool("baseline", false,
 		"gate NEW.json against its ledger history instead of an OLD.json file")
 	ledgerFlag := fs.String("ledger", *ledgerDir, "ledger directory for -baseline")
@@ -133,8 +135,8 @@ func diffCmd(args []string) {
 	}
 	if oldBench {
 		oldRep, newRep := readGroupReport(fs.Arg(0)), readGroupReport(fs.Arg(1))
-		if newRep.Treebuild == nil && newRep.Scale == nil {
-			fmt.Fprintf(os.Stderr, "diff: %s has neither a treebuild nor a scale block (run `ssbench treebuild` or `ssbench scale`)\n", fs.Arg(1))
+		if newRep.Treebuild == nil && newRep.Scale == nil && newRep.Kernels == nil {
+			fmt.Fprintf(os.Stderr, "diff: %s has no treebuild, scale, or kernels block (run `ssbench treebuild`, `ssbench scale`, or `ssbench kernels`)\n", fs.Arg(1))
 			os.Exit(2)
 		}
 		ok := true
@@ -143,6 +145,9 @@ func diffCmd(args []string) {
 		}
 		if newRep.Scale != nil {
 			ok = diffScale(oldRep, newRep, fs.Arg(0), *scaleFrac) && ok
+		}
+		if newRep.Kernels != nil {
+			ok = diffKernels(oldRep, newRep, fs.Arg(0), *kernelFrac) && ok
 		}
 		if !ok {
 			os.Exit(1)

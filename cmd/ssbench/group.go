@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spacesim/internal/core"
+	"spacesim/internal/gravity"
 	"spacesim/internal/htree"
 	"spacesim/internal/obs"
 	"spacesim/internal/obs/analysis"
@@ -75,6 +76,12 @@ type groupDistributed struct {
 //	    VCS revision, hostname, and the canonical config digest of the
 //	    writing invocation (the key into the run ledger). Stamped by
 //	    every writer.
+//	8 — adds the kernel microbenchmark block (`kernels`): the batched-
+//	    kernel sweep over kernel (body/cell) x variant (libm/Karp) x
+//	    precision (float64/float32) x list length, the bit-identity
+//	    verdict of the default float64 path against the seed evaluation,
+//	    and the measured float32 error budget. Written by `ssbench
+//	    kernels`, which merges like treebuild does.
 type groupReport struct {
 	SchemaVersion   int                  `json:"schema_version"`
 	N               int                  `json:"n"`
@@ -92,6 +99,7 @@ type groupReport struct {
 	Metrics         *obs.MetricsSnapshot `json:"metrics,omitempty"`
 	Analysis        *analysis.Summary    `json:"analysis,omitempty"`
 	Treebuild       *treebuildReport     `json:"treebuild,omitempty"`
+	Kernels         *kernelsReport       `json:"kernels,omitempty"`
 	Scale           *scaleReport         `json:"scale,omitempty"`
 	Live            *live.Dump           `json:"live,omitempty"`
 	Provenance      *ledger.Provenance   `json:"provenance,omitempty"`
@@ -141,12 +149,12 @@ func groupBench() {
 		return a, p, int64(st.CellInteractions + st.BodyInteractions)
 	})
 	t1, acc1, pot1, inter1 := time3(func() ([]vec.V3, []float64, int64) {
-		a, p, st := tr.AccelAllGrouped(theta, eps, true, 1)
+		a, p, st := tr.AccelAllGrouped(theta, eps, true, gravity.Float64, 1)
 		return a, p, int64(st.CellInteractions + st.BodyInteractions)
 	})
 	nw := runtime.GOMAXPROCS(0)
 	tN, accN, potN, interN := time3(func() ([]vec.V3, []float64, int64) {
-		a, p, st := tr.AccelAllGrouped(theta, eps, true, nw)
+		a, p, st := tr.AccelAllGrouped(theta, eps, true, gravity.Float64, nw)
 		return a, p, int64(st.CellInteractions + st.BodyInteractions)
 	})
 

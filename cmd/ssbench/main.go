@@ -7,7 +7,8 @@
 //	ssbench <experiment> [flags]
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig2 fig3
-// fig4 fig5 fig6 fig7 fig8 group treebuild switch spec reliability moore all
+// fig4 fig5 fig6 fig7 fig8 group kernels treebuild switch spec reliability
+// moore all
 package main
 
 import (
@@ -139,6 +140,7 @@ func main() {
 		"fig7":        fig7,
 		"fig8":        fig8,
 		"group":       groupBench,
+		"kernels":     kernelsBench,
 		"treebuild":   treebuildBench,
 		"analyze":     analyzeBench,
 		"switch":      switchBackplane,
@@ -168,7 +170,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-ledger DIR] [-trace FILE] [-metrics FILE] [-http ADDR] [-sample-every DUR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|treebuild|analyze|diff|faultsweep|scale|trend|report|switch|spec|reliability|moore|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-quick] [-ledger DIR] [-trace FILE] [-metrics FILE] [-http ADDR] [-sample-every DUR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|...|fig8|group|kernels|treebuild|analyze|diff|faultsweep|scale|trend|report|switch|spec|reliability|moore|all>")
 	fmt.Fprintln(os.Stderr, "       (global flags are accepted before or after the experiment name)")
 	fmt.Fprintln(os.Stderr, "       ssbench diff [flags] OLD.json NEW.json   (ANALYSIS.json or BENCH_treecode.json pairs)")
 	fmt.Fprintln(os.Stderr, "       ssbench diff -baseline [flags] NEW.json  (gate NEW against its ledger history)")

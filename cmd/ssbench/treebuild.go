@@ -193,6 +193,9 @@ func isBenchFile(path string) bool {
 	if _, ok := probe["scale"]; ok {
 		return true
 	}
+	if _, ok := probe["kernels"]; ok {
+		return true
+	}
 	_, ok := probe["treebuild"]
 	return ok
 }

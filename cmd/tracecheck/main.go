@@ -445,12 +445,13 @@ func (p benchPhases) nonneg() bool {
 // with an engine comparison must embed both the metrics snapshot and the
 // trace-analysis summary. The schema version is the max over the optional
 // blocks present (see the groupReport history): exactly 4 requires the
-// treebuild block, exactly 5 the engine-scaling (scale) block, and >= 6
+// treebuild block, exactly 5 the engine-scaling (scale) block, >= 6
 // the live-telemetry (live) block, which is validated by checkLive
-// wherever it appears. A record may hold only the treebuild or scale
-// block (written by `ssbench treebuild`/`ssbench scale` without a prior
-// `group` run), in which case the engine-comparison requirements do not
-// apply.
+// wherever it appears, and exactly 8 the kernel-microbenchmark (kernels)
+// block. A record may hold only the treebuild, scale, or kernels block
+// (written by `ssbench treebuild`/`ssbench scale`/`ssbench kernels`
+// without a prior `group` run), in which case the engine-comparison
+// requirements do not apply.
 func checkBench(path string) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -491,6 +492,22 @@ func checkBench(path string) bool {
 				RanksPerGB   float64 `json:"ranks_per_gb"`
 			} `json:"entries"`
 		} `json:"scale"`
+		Kernels *struct {
+			Sinks               int     `json:"sinks"`
+			Lengths             []int   `json:"lengths"`
+			DefaultBitIdentical bool    `json:"default_bit_identical"`
+			RmsAccErrFloat32    float64 `json:"rms_acc_err_float32"`
+			Float32ErrBudget    float64 `json:"float32_err_budget"`
+			Entries             []struct {
+				Kernel           string  `json:"kernel"`
+				Variant          string  `json:"variant"`
+				Precision        string  `json:"precision"`
+				Length           int     `json:"length"`
+				Sinks            int     `json:"sinks"`
+				NsPerInteraction float64 `json:"ns_per_interaction"`
+				InterPerSec      float64 `json:"interactions_per_sec"`
+			} `json:"entries"`
+		} `json:"kernels"`
 		Live       *live.Dump         `json:"live"`
 		Provenance *ledger.Provenance `json:"provenance"`
 	}
@@ -500,7 +517,7 @@ func checkBench(path string) bool {
 	if rep.N <= 0 {
 		return fail(path, "missing workload description (n=%d)", rep.N)
 	}
-	if len(rep.Results) == 0 && rep.Treebuild == nil && rep.Scale == nil {
+	if len(rep.Results) == 0 && rep.Treebuild == nil && rep.Scale == nil && rep.Kernels == nil {
 		return fail(path, "record holds neither engine results nor a benchmark block")
 	}
 	if rep.SchemaVersion == 4 && rep.Treebuild == nil {
@@ -511,6 +528,9 @@ func checkBench(path string) bool {
 	}
 	if rep.SchemaVersion == 6 && rep.Live == nil {
 		return fail(path, "schema v%d record without a live block", rep.SchemaVersion)
+	}
+	if rep.SchemaVersion == 8 && rep.Kernels == nil {
+		return fail(path, "schema v%d record without a kernels block", rep.SchemaVersion)
 	}
 	if rep.SchemaVersion >= 7 {
 		if rep.Provenance == nil {
@@ -590,6 +610,45 @@ func checkBench(path string) bool {
 			}
 		}
 	}
+	if kr := rep.Kernels; kr != nil {
+		if kr.Sinks <= 0 || len(kr.Lengths) == 0 {
+			return fail(path, "kernels: missing workload description (sinks=%d, %d lengths)", kr.Sinks, len(kr.Lengths))
+		}
+		if len(kr.Entries) == 0 {
+			return fail(path, "kernels: no entries")
+		}
+		if !kr.DefaultBitIdentical {
+			return fail(path, "kernels: default path not bit-identical to the seed evaluation")
+		}
+		if kr.Float32ErrBudget <= 0 {
+			return fail(path, "kernels: float32_err_budget %g, want > 0", kr.Float32ErrBudget)
+		}
+		if kr.RmsAccErrFloat32 <= 0 || kr.RmsAccErrFloat32 > kr.Float32ErrBudget {
+			return fail(path, "kernels: rms_acc_err_float32 %g outside (0, %g]",
+				kr.RmsAccErrFloat32, kr.Float32ErrBudget)
+		}
+		for i, e := range kr.Entries {
+			if e.Kernel != "body" && e.Kernel != "cell" {
+				return fail(path, "kernels entry %d: unknown kernel %q", i, e.Kernel)
+			}
+			if e.Variant != "libm" && e.Variant != "karp" {
+				return fail(path, "kernels entry %d: unknown variant %q", i, e.Variant)
+			}
+			if e.Precision != "float64" && e.Precision != "float32" {
+				return fail(path, "kernels entry %d: unknown precision %q", i, e.Precision)
+			}
+			if e.Length <= 0 || e.Sinks <= 0 {
+				return fail(path, "kernels entry %d: length=%d sinks=%d", i, e.Length, e.Sinks)
+			}
+			if e.NsPerInteraction <= 0 {
+				return fail(path, "kernels entry %d: ns_per_interaction %g, want > 0", i, e.NsPerInteraction)
+			}
+			if d := math.Abs(e.InterPerSec - 1e9/e.NsPerInteraction); d > 1e-6*e.InterPerSec {
+				return fail(path, "kernels entry %d: interactions_per_sec %g inconsistent with 1e9/%g",
+					i, e.InterPerSec, e.NsPerInteraction)
+			}
+		}
+	}
 	// The engine-comparison blocks below only bind when the comparison ran.
 	if len(rep.Results) > 0 && rep.SchemaVersion >= 2 && rep.Metrics == nil {
 		return fail(path, "schema v%d record without embedded metrics", rep.SchemaVersion)
@@ -624,6 +683,10 @@ func checkBench(path string) bool {
 	if rep.Scale != nil {
 		tbNote += fmt.Sprintf(", scale %d entries (max event world %d ranks)",
 			len(rep.Scale.Entries), rep.Scale.MaxEventRanks)
+	}
+	if rep.Kernels != nil {
+		tbNote += fmt.Sprintf(", kernels %d entries (f32 rms %.2g)",
+			len(rep.Kernels.Entries), rep.Kernels.RmsAccErrFloat32)
 	}
 	if rep.Live != nil {
 		tbNote += fmt.Sprintf(", live block (%d samples, %d series)", rep.Live.Samples, len(rep.Live.Series))

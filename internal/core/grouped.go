@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -40,10 +39,11 @@ import (
 type bucketScratch struct {
 	stack          []key.K
 	lstack         []key.K
-	cells          []gravity.Multipole
+	cells          gravity.MultipoleSoA
 	srcs           gravity.SoA
 	sx, sy, sz     []float64
 	ax, ay, az, pp []float64
+	ev             gravity.Evaluator
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(bucketScratch) }}
@@ -157,7 +157,7 @@ func (dt *DTree) computeForcesGrouped(bodies []Body) ([]vec.V3, []float64, Trave
 		w.cell = c
 		w.center, w.radius = c.BoundingSphere()
 		w.stack = append(w.stack[:0], key.Root)
-		w.cells = w.cells[:0]
+		w.cells.Reset()
 		w.srcs.Reset()
 		w.queued = true
 		runnable = append(runnable, w)
@@ -239,7 +239,7 @@ func (dt *DTree) runBucket(w *bucketWalker, fetch func(*bucketWalker, key.K, int
 		}
 		d := info.Mp.COM.Dist(w.center) - w.radius
 		if htree.AcceptMAC(d, info.Bmax, theta) {
-			w.cells = append(w.cells, info.Mp)
+			w.cells.Push(&info.Mp)
 			continue
 		}
 		if info.Owner == -1 {
@@ -286,7 +286,7 @@ func (dt *DTree) walkLocalBucket(w *bucketWalker, root key.K) {
 		}
 		d := c.Mp.COM.Dist(w.center) - w.radius
 		if !c.Leaf && htree.AcceptMAC(d, c.Bmax, theta) {
-			w.cells = append(w.cells, c.Mp)
+			w.cells.Push(&c.Mp)
 			continue
 		}
 		if c.Leaf {
@@ -308,7 +308,7 @@ func (dt *DTree) walkLocalBucket(w *bucketWalker, root key.K) {
 // from list lengths alone) and hands the numeric evaluation to the pool.
 func (dt *DTree) finishBucket(w *bucketWalker, st *TraversalStats, charge func(), pool *evalPool, canonicalize bool, acc []vec.V3, pot []float64) {
 	ns := w.cell.Hi - w.cell.Lo
-	nc := len(w.cells)
+	nc := w.cells.Len()
 	nb := w.srcs.Len()
 	dt.cBuckets.Inc()
 	dt.cListCells.Add(int64(nc))
@@ -341,7 +341,7 @@ func (dt *DTree) finishBucket(w *bucketWalker, st *TraversalStats, charge func()
 // output arrays.
 func (dt *DTree) evalBucket(w *bucketWalker, canonicalize bool, acc []vec.V3, pot []float64) {
 	if canonicalize {
-		sortMultipoles(w.cells)
+		w.cells.Sort()
 		w.srcs.Sort()
 	}
 	lo, hi := w.cell.Lo, w.cell.Hi
@@ -352,29 +352,11 @@ func (dt *DTree) evalBucket(w *bucketWalker, canonicalize bool, acc []vec.V3, po
 		p := dt.local.Bodies[lo+j].Pos
 		sc.sx[j], sc.sy[j], sc.sz[j] = p[0], p[1], p[2]
 	}
-	gravity.EvalList(sc.cells, &sc.srcs, sc.sx, sc.sy, sc.sz, dt.opt.Eps, dt.opt.UseKarp, sc.ax, sc.ay, sc.az, sc.pp)
+	sc.ev.Eps, sc.ev.UseKarp, sc.ev.Prec = dt.opt.Eps, dt.opt.UseKarp, dt.opt.Precision
+	sc.ev.EvalList(&sc.cells, &sc.srcs, sc.sx, sc.sy, sc.sz, sc.ax, sc.ay, sc.az, sc.pp)
 	for j := 0; j < ns; j++ {
 		id := dt.local.Bodies[lo+j].ID
 		acc[id] = vec.V3{sc.ax[j], sc.ay[j], sc.az[j]}
 		pot[id] = sc.pp[j]
 	}
-}
-
-// sortMultipoles orders accepted cells by (COM, M): distinct cells have
-// distinct centers of mass, and identical entries are interchangeable under
-// summation, so this is a canonical evaluation order.
-func sortMultipoles(ms []gravity.Multipole) {
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := &ms[i], &ms[j]
-		if a.COM[0] != b.COM[0] {
-			return a.COM[0] < b.COM[0]
-		}
-		if a.COM[1] != b.COM[1] {
-			return a.COM[1] < b.COM[1]
-		}
-		if a.COM[2] != b.COM[2] {
-			return a.COM[2] < b.COM[2]
-		}
-		return a.M < b.M
-	})
 }

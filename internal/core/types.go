@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"spacesim/internal/gravity"
 	"spacesim/internal/htree"
 	"spacesim/internal/key"
 	"spacesim/internal/vec"
@@ -46,6 +47,11 @@ type Options struct {
 	MaxLeaf int
 	// UseKarp selects the Karp reciprocal sqrt in the inner kernel.
 	UseKarp bool
+	// Precision selects the kernel accumulation arithmetic. The default,
+	// gravity.Float64, is bit-identical to the seed engine; gravity.Float32
+	// evaluates interaction lists in single precision with an RMS error
+	// budget pinned by tests (see `ssbench kernels`).
+	Precision gravity.Precision
 	// BranchLevel controls how deep the globally replicated top of the
 	// tree reaches (default 3: up to 8^3 = 512 branch cells per rank).
 	BranchLevel int

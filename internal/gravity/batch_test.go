@@ -127,13 +127,15 @@ func TestSoASort(t *testing.T) {
 	}
 }
 
-// EvalList = accepted cells + batched bodies, against a hand-rolled sum.
+// Evaluator.EvalList = accepted cells + batched bodies, against a
+// hand-rolled sum.
 func TestEvalList(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	soa, src := randomSoA(rng, 40)
 	cellsrc := make([][]vec.V3, 2)
 	cellmass := make([][]float64, 2)
 	cells := make([]Multipole, 2)
+	var csoa MultipoleSoA
 	for c := range cells {
 		np := 20
 		cellsrc[c] = make([]vec.V3, np)
@@ -143,6 +145,7 @@ func TestEvalList(t *testing.T) {
 			cellmass[c][i] = rng.Float64()
 		}
 		cells[c] = FromBodies(cellsrc[c], cellmass[c])
+		csoa.Push(&cells[c])
 	}
 	sink := vec.V3{0.1, 0.2, 0.3}
 	sx := []float64{sink[0]}
@@ -153,7 +156,8 @@ func TestEvalList(t *testing.T) {
 	az := []float64{0}
 	pp := []float64{0}
 	eps := 0.05
-	EvalList(cells, soa, sx, sy, sz, eps, false, ax, ay, az, pp)
+	ev := Evaluator{Eps: eps}
+	ev.EvalList(&csoa, soa, sx, sy, sz, ax, ay, az, pp)
 
 	var want vec.V3
 	var wantP float64

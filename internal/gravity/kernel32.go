@@ -1,0 +1,188 @@
+package gravity
+
+import "math"
+
+// Single-precision renderings of the batched kernels, used by the
+// Evaluator's Float32 mode: one interaction list is converted to float32
+// scratch once per bucket, evaluated and accumulated in float32, and the
+// bucket totals are folded back into the float64 outputs. The loops keep
+// the source/cell tiling of the float64 kernels (the tiles are half the
+// bytes, so they sit even deeper in L1); the self-exclusion uses the same
+// hoisted mass-zeroing form. The RMS error of this mode against the
+// float64 engine is pinned by the package tests and measured by
+// `ssbench kernels`.
+
+func kernelBatchLibm32(sx, sy, sz, xs, ys, zs, ms []float32, eps2 float32, ax, ay, az, pot []float32) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	if eps2 == 0 {
+		kernelBatch32Checked(sx, sy, sz, xs, ys, zs, ms, eps2, false, ax, ay, az, pot)
+		return
+	}
+	for t0 := 0; t0 < n; t0 += srcTile {
+		t1 := min(t0+srcTile, n)
+		tx := xs[t0:t1]
+		ty := ys[t0:t1:t1]
+		tz := zs[t0:t1:t1]
+		tm := ms[t0:t1:t1]
+		for j := range sx {
+			px, py, pz := sx[j], sy[j], sz[j]
+			fx, fy, fz, fp := ax[j], ay[j], az[j], pot[j]
+			for i := range tx {
+				dx := tx[i] - px
+				dy := ty[i] - py
+				dz := tz[i] - pz
+				r2 := dx*dx + dy*dy + dz*dz
+				mi := tm[i]
+				if r2 == 0 {
+					mi = 0
+				}
+				rinv := 1 / float32(math.Sqrt(float64(r2+eps2)))
+				rinv3 := rinv * rinv * rinv
+				mr3 := mi * rinv3
+				fx += mr3 * dx
+				fy += mr3 * dy
+				fz += mr3 * dz
+				fp -= mi * rinv
+			}
+			ax[j], ay[j], az[j], pot[j] = fx, fy, fz, fp
+		}
+	}
+}
+
+func kernelBatchKarp32(sx, sy, sz, xs, ys, zs, ms []float32, eps2 float32, ax, ay, az, pot []float32) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	if eps2 == 0 {
+		kernelBatch32Checked(sx, sy, sz, xs, ys, zs, ms, eps2, true, ax, ay, az, pot)
+		return
+	}
+	for t0 := 0; t0 < n; t0 += srcTile {
+		t1 := min(t0+srcTile, n)
+		tx := xs[t0:t1]
+		ty := ys[t0:t1:t1]
+		tz := zs[t0:t1:t1]
+		tm := ms[t0:t1:t1]
+		for j := range sx {
+			px, py, pz := sx[j], sy[j], sz[j]
+			fx, fy, fz, fp := ax[j], ay[j], az[j], pot[j]
+			for i := range tx {
+				dx := tx[i] - px
+				dy := ty[i] - py
+				dz := tz[i] - pz
+				r2 := dx*dx + dy*dy + dz*dz
+				mi := tm[i]
+				if r2 == 0 {
+					mi = 0
+				}
+				rinv := karpRsqrtInline32(r2 + eps2)
+				rinv3 := rinv * rinv * rinv
+				mr3 := mi * rinv3
+				fx += mr3 * dx
+				fy += mr3 * dy
+				fz += mr3 * dz
+				fp -= mi * rinv
+			}
+			ax[j], ay[j], az[j], pot[j] = fx, fy, fz, fp
+		}
+	}
+}
+
+// kernelBatch32Checked is the eps == 0 fallback with the explicit skip
+// branch (an excluded term would be infinite without softening).
+func kernelBatch32Checked(sx, sy, sz, xs, ys, zs, ms []float32, eps2 float32, useKarp bool, ax, ay, az, pot []float32) {
+	for j := range sx {
+		px, py, pz := sx[j], sy[j], sz[j]
+		fx, fy, fz, fp := ax[j], ay[j], az[j], pot[j]
+		for i := range xs {
+			dx := xs[i] - px
+			dy := ys[i] - py
+			dz := zs[i] - pz
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue
+			}
+			var rinv float32
+			if useKarp {
+				rinv = KarpRsqrt32(r2 + eps2)
+			} else {
+				rinv = 1 / float32(math.Sqrt(float64(r2+eps2)))
+			}
+			rinv3 := rinv * rinv * rinv
+			mr3 := ms[i] * rinv3
+			fx += mr3 * dx
+			fy += mr3 * dy
+			fz += mr3 * dz
+			fp -= ms[i] * rinv
+		}
+		ax[j], ay[j], az[j], pot[j] = fx, fy, fz, fp
+	}
+}
+
+// cellBatch32 evaluates the multipole field over the float32 cell scratch.
+func cellBatch32(s *evalScratch32, sx, sy, sz []float32, eps2 float32, useKarp bool, ax, ay, az, pot []float32) {
+	nc := len(s.cx)
+	if nc == 0 {
+		return
+	}
+	for t0 := 0; t0 < nc; t0 += cellTile {
+		t1 := min(t0+cellTile, nc)
+		cx := s.cx[t0:t1]
+		cy := s.cy[t0:t1:t1]
+		cz := s.cz[t0:t1:t1]
+		cm := s.cm[t0:t1:t1]
+		qxx := s.qxx[t0:t1:t1]
+		qyy := s.qyy[t0:t1:t1]
+		qzz := s.qzz[t0:t1:t1]
+		qxy := s.qxy[t0:t1:t1]
+		qxz := s.qxz[t0:t1:t1]
+		qyz := s.qyz[t0:t1:t1]
+		for j := range sx {
+			px, py, pz := sx[j], sy[j], sz[j]
+			ax0, ay0, az0, pp0 := ax[j], ay[j], az[j], pot[j]
+			for i := range cx {
+				mi := cm[i]
+				x := px - cx[i]
+				y := py - cy[i]
+				z := pz - cz[i]
+				r2 := x*x + y*y + z*z + eps2
+				var rinv float32
+				if useKarp {
+					rinv = karpRsqrtInline32(r2)
+				} else {
+					rinv = 1 / float32(math.Sqrt(float64(r2)))
+				}
+				rinv2 := rinv * rinv
+				rinv3 := rinv * rinv2
+				rinv5 := rinv3 * rinv2
+				rinv7 := rinv5 * rinv2
+				sc := -mi * rinv3
+				a := sc * x
+				b := sc * y
+				c := sc * z
+				p := -mi * rinv
+				qx := qxx[i]*x + qxy[i]*y + qxz[i]*z
+				qy := qxy[i]*x + qyy[i]*y + qyz[i]*z
+				qz := qxz[i]*x + qyz[i]*y + qzz[i]*z
+				xqx := x*qx + y*qy + z*qz
+				a += rinv5 * qx
+				b += rinv5 * qy
+				c += rinv5 * qz
+				u := -2.5 * xqx * rinv7
+				a += u * x
+				b += u * y
+				c += u * z
+				p -= 0.5 * xqx * rinv5
+				ax0 += a
+				ay0 += b
+				az0 += c
+				pp0 += p
+			}
+			ax[j], ay[j], az[j], pot[j] = ax0, ay0, az0, pp0
+		}
+	}
+}

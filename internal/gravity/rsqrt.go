@@ -21,6 +21,12 @@ type karpSeg struct{ a, b float64 }
 
 var karpTable = buildKarpTable()
 
+// karpSeg32 is the float32 rendering of a table segment, used by the
+// float32 kernels so the lookup stays conversion-free.
+type karpSeg32 struct{ a, b float32 }
+
+var karpTable32 = buildKarpTable32()
+
 // buildKarpTable fits 1/sqrt(m) on each of 2^karpTableBits segments of
 // [1,4) with the degree-1 Chebyshev interpolant (the fit through the two
 // Chebyshev nodes of the segment, which minimizes worst-case error among
@@ -45,11 +51,25 @@ func buildKarpTable() [1 << karpTableBits]karpSeg {
 	return tbl
 }
 
-// KarpRsqrt returns 1/sqrt(x) for positive finite x using the Karp
-// decomposition with two Newton-Raphson iterations (relative error below
-// 1e-11 across the full double range; see the package tests).
+func buildKarpTable32() [1 << karpTableBits]karpSeg32 {
+	var tbl [1 << karpTableBits]karpSeg32
+	for i, s := range karpTable {
+		tbl[i] = karpSeg32{a: float32(s.a), b: float32(s.b)}
+	}
+	return tbl
+}
+
+// KarpRsqrt returns 1/sqrt(x) using the Karp decomposition with two
+// Newton-Raphson iterations (relative error below 1e-11 across the full
+// double range; see the package tests). Non-normal inputs take a slow
+// path that matches 1/math.Sqrt: subnormals are rescaled by an even power
+// of two and refined at full accuracy, +-0 maps to +-Inf, +Inf to 0, and
+// negative or NaN arguments to NaN.
 func KarpRsqrt(x float64) float64 {
 	bits := math.Float64bits(x)
+	if e := bits >> 52 & 0x7ff; e == 0 || e == 0x7ff || bits>>63 != 0 {
+		return karpRsqrtEdge(x)
+	}
 	exp := int(bits>>52&0x7ff) - 1023
 	// mantissa m in [1,2)
 	mbits := bits&(1<<52-1) | 1023<<52
@@ -72,6 +92,86 @@ func KarpRsqrt(x float64) float64 {
 	// Scale back: rsqrt(x) = 2^-k * rsqrt(m).
 	scale := math.Float64frombits(uint64(1023-k) << 52)
 	return y * scale
+}
+
+// karpRsqrtEdge handles the inputs the fast path's exponent extraction
+// cannot: zeros, subnormals, infinities, NaNs and negatives. The seed
+// extraction read `bits>>52` of a subnormal as exponent -1023 with a
+// garbage mantissa; here subnormals are rescaled into the normal range by
+// an exact even power of two first.
+func karpRsqrtEdge(x float64) float64 {
+	switch {
+	case x == 0:
+		// 1/math.Sqrt(+0) = +Inf, and math.Sqrt(-0) = -0 so 1/it = -Inf.
+		if math.Signbit(x) {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	case x < 0 || math.IsNaN(x):
+		return math.NaN()
+	case math.IsInf(x, 1):
+		return 0
+	default:
+		// Positive subnormal: x*2^108 is exact and normal (at least
+		// 2^-966), and rsqrt scales back by the exact factor 2^54.
+		return KarpRsqrt(x*0x1p108) * 0x1p54
+	}
+}
+
+// KarpRsqrt32 is the single-precision Karp reciprocal square root: the
+// same table (rounded to float32) with one Newton-Raphson iteration, which
+// already reaches a few ulps of float32. Non-normal inputs route through
+// the float64 edge path.
+func KarpRsqrt32(x float32) float32 {
+	bits := math.Float32bits(x)
+	if e := bits >> 23 & 0xff; e == 0 || e == 0xff || bits>>31 != 0 {
+		return float32(KarpRsqrt(float64(x)))
+	}
+	exp := int(bits>>23&0xff) - 127
+	m := math.Float32frombits(bits&(1<<23-1) | 127<<23)
+	k := exp >> 1
+	if exp&1 != 0 {
+		m *= 2
+	}
+	idx := int((m - 1) * float32(len(karpTable32)) / 3)
+	if idx >= len(karpTable32) {
+		idx = len(karpTable32) - 1
+	}
+	seg := karpTable32[idx]
+	y := seg.a + seg.b*m
+	y = y * (1.5 - 0.5*m*y*y)
+	return y * math.Float32frombits(uint32(127-k)<<23)
+}
+
+// The float64 batched kernels hand-expand the fast path of KarpRsqrt into
+// their loop bodies (the expansion exceeds the compiler's inline budget as
+// a function): the same operation sequence, with a single unsigned compare
+// `e-1 < 0x7fe` deferring zeros, subnormals, infinities and NaNs to the
+// full function. Their callers guarantee x >= 0 (a sum of squares plus a
+// softening), so no sign check is carried in the loops.
+
+// karpRsqrtInline32 is the float32 fast path of KarpRsqrt32 for the
+// float32 kernels (same operation sequence, edge cases deferred).
+func karpRsqrtInline32(x float32) float32 {
+	bits := math.Float32bits(x)
+	e := bits >> 23 & 0xff
+	if e == 0 || e == 0xff {
+		return float32(KarpRsqrt(float64(x)))
+	}
+	exp := int(e) - 127
+	m := math.Float32frombits(bits&(1<<23-1) | 127<<23)
+	k := exp >> 1
+	if exp&1 != 0 {
+		m *= 2
+	}
+	idx := int((m - 1) * float32(len(karpTable32)) / 3)
+	if idx >= len(karpTable32) {
+		idx = len(karpTable32) - 1
+	}
+	seg := karpTable32[idx]
+	y := seg.a + seg.b*m
+	y = y * (1.5 - 0.5*m*y*y)
+	return y * math.Float32frombits(uint32(127-k)<<23)
 }
 
 // KarpRsqrt3 returns 1/sqrt(x) cubed, i.e. x^(-3/2), the quantity the

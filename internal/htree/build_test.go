@@ -2,6 +2,7 @@ package htree
 
 import (
 	"math/rand"
+	"spacesim/internal/gravity"
 	"testing"
 
 	"spacesim/internal/key"
@@ -95,8 +96,8 @@ func TestBuildBitIdentical(t *testing.T) {
 		// The grouped walk on the pipeline tree must also match itself
 		// across worker counts (its own bit-identity guarantee composed
 		// with the build's).
-		gacc, gpot, _ := tr.AccelAllGrouped(0.7, 0.01, false, 1)
-		gacc2, gpot2, _ := tr.AccelAllGrouped(0.7, 0.01, false, workers)
+		gacc, gpot, _ := tr.AccelAllGrouped(0.7, 0.01, false, gravity.Float64, 1)
+		gacc2, gpot2, _ := tr.AccelAllGrouped(0.7, 0.01, false, gravity.Float64, workers)
 		for i := range gacc {
 			if gacc[i] != gacc2[i] || gpot[i] != gpot2[i] {
 				t.Fatalf("workers=%d: grouped walk diverges at body %d", workers, i)

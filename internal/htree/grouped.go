@@ -55,12 +55,15 @@ func (c *Cell) BoundingSphere() (center vec.V3, radius float64) {
 }
 
 // groupScratch is the per-worker reusable buffer set of the grouped walk.
+// The evaluator rides along so the Float32 mode's conversion scratch is
+// reused across buckets too.
 type groupScratch struct {
 	stack          []key.K
-	cells          []gravity.Multipole
+	cells          gravity.MultipoleSoA
 	srcs           gravity.SoA
 	sx, sy, sz     []float64
 	ax, ay, az, pp []float64
+	ev             gravity.Evaluator
 }
 
 // grow resizes the sink-side arrays to n sinks, zeroing the accumulators.
@@ -86,7 +89,7 @@ func (sc *groupScratch) grow(n int) {
 func (t *Tree) gatherList(bucket *Cell, theta float64, sc *groupScratch, st *WalkStats) {
 	center, radius := bucket.Mp.COM, bucket.Bmax
 	sc.stack = append(sc.stack[:0], key.Root)
-	sc.cells = sc.cells[:0]
+	sc.cells.Reset()
 	sc.srcs.Reset()
 	for len(sc.stack) > 0 {
 		k := sc.stack[len(sc.stack)-1]
@@ -94,7 +97,7 @@ func (t *Tree) gatherList(bucket *Cell, theta float64, sc *groupScratch, st *Wal
 		c := t.store.get(k)
 		d := c.Mp.COM.Dist(center) - radius
 		if !c.Leaf && AcceptMAC(d, c.Bmax, theta) {
-			sc.cells = append(sc.cells, c.Mp)
+			sc.cells.Push(&c.Mp)
 			continue
 		}
 		if c.Leaf {
@@ -114,14 +117,15 @@ func (t *Tree) gatherList(bucket *Cell, theta float64, sc *groupScratch, st *Wal
 
 // evalBucket applies the gathered list to every body of the bucket,
 // scattering results by original body ID.
-func (t *Tree) evalBucket(bucket *Cell, eps float64, useKarp bool, sc *groupScratch, acc []vec.V3, pot []float64) {
+func (t *Tree) evalBucket(bucket *Cell, eps float64, useKarp bool, prec gravity.Precision, sc *groupScratch, acc []vec.V3, pot []float64) {
 	ns := bucket.Hi - bucket.Lo
 	sc.grow(ns)
 	for j := 0; j < ns; j++ {
 		p := t.Bodies[bucket.Lo+j].Pos
 		sc.sx[j], sc.sy[j], sc.sz[j] = p[0], p[1], p[2]
 	}
-	gravity.EvalList(sc.cells, &sc.srcs, sc.sx, sc.sy, sc.sz, eps, useKarp, sc.ax, sc.ay, sc.az, sc.pp)
+	sc.ev.Eps, sc.ev.UseKarp, sc.ev.Prec = eps, useKarp, prec
+	sc.ev.EvalList(&sc.cells, &sc.srcs, sc.sx, sc.sy, sc.sz, sc.ax, sc.ay, sc.az, sc.pp)
 	for j := 0; j < ns; j++ {
 		id := t.Bodies[bucket.Lo+j].ID
 		acc[id] = vec.V3{sc.ax[j], sc.ay[j], sc.az[j]}
@@ -134,8 +138,9 @@ func (t *Tree) evalBucket(bucket *Cell, eps float64, useKarp bool, sc *groupScra
 // (workers < 1 means runtime.GOMAXPROCS(0)). Each bucket writes a disjoint
 // slice of the output and its stats are merged in bucket order, so the
 // result — including every floating-point bit — is identical for any
-// worker count.
-func (t *Tree) AccelAllGrouped(theta, eps float64, useKarp bool, workers int) ([]vec.V3, []float64, WalkStats) {
+// worker count. prec selects the kernel arithmetic; gravity.Float64 is the
+// seed-bit-identical default.
+func (t *Tree) AccelAllGrouped(theta, eps float64, useKarp bool, prec gravity.Precision, workers int) ([]vec.V3, []float64, WalkStats) {
 	var h0 float64
 	if t.tr != nil {
 		h0 = t.o.Tracer.HostNow()
@@ -166,9 +171,9 @@ func (t *Tree) AccelAllGrouped(theta, eps float64, useKarp bool, workers int) ([
 				b := leaves[i]
 				t.gatherList(b, theta, &sc, &stats[i])
 				ns := b.Hi - b.Lo
-				stats[i].CellInteractions += ns * len(sc.cells)
+				stats[i].CellInteractions += ns * sc.cells.Len()
 				stats[i].BodyInteractions += ns*sc.srcs.Len() - ns
-				t.evalBucket(b, eps, useKarp, &sc, acc, pot)
+				t.evalBucket(b, eps, useKarp, prec, &sc, acc, pot)
 			}
 		}()
 	}

@@ -61,7 +61,7 @@ func TestGroupedMatchesPerBodyWithinMACBound(t *testing.T) {
 	ref, _ := gravity.Direct(pos, mass, eps)
 	for _, theta := range []float64{0.4, 0.7, 1.0} {
 		accP, potP, stP := tr.AccelAll(theta, eps, false)
-		accG, potG, stG := tr.AccelAllGrouped(theta, eps, false, 0)
+		accG, potG, stG := tr.AccelAllGrouped(theta, eps, false, gravity.Float64, 0)
 		rmsP := rmsErr(accP, ref)
 		rmsG := rmsErr(accG, ref)
 		if rmsG > rmsP*1.05+1e-12 {
@@ -99,7 +99,7 @@ func TestGroupedExactAtThetaZero(t *testing.T) {
 	}
 	eps := 0.05
 	accP, potP, _ := tr.AccelAll(1e-9, eps, false)
-	accG, potG, _ := tr.AccelAllGrouped(1e-9, eps, false, 1)
+	accG, potG, _ := tr.AccelAllGrouped(1e-9, eps, false, gravity.Float64, 1)
 	for i := range accP {
 		if accG[i] != accP[i] || potG[i] != potP[i] {
 			t.Fatalf("body %d: grouped (%v, %v) vs per-body (%v, %v)", i, accG[i], potG[i], accP[i], potP[i])
@@ -115,9 +115,9 @@ func TestGroupedWorkerCountInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc1, pot1, st1 := tr.AccelAllGrouped(0.7, 0.02, true, 1)
+	acc1, pot1, st1 := tr.AccelAllGrouped(0.7, 0.02, true, gravity.Float64, 1)
 	for _, workers := range []int{2, 3, 8, 0} {
-		accN, potN, stN := tr.AccelAllGrouped(0.7, 0.02, true, workers)
+		accN, potN, stN := tr.AccelAllGrouped(0.7, 0.02, true, gravity.Float64, workers)
 		for i := range acc1 {
 			if accN[i] != acc1[i] || potN[i] != pot1[i] {
 				t.Fatalf("workers=%d: body %d differs: (%v, %v) vs (%v, %v)", workers, i, accN[i], potN[i], acc1[i], pot1[i])

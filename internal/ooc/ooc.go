@@ -239,15 +239,16 @@ func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
 	// block multipoles + streamed near-block bodies in SoA layout) is built
 	// and applied to every sink in the block by the batched kernel, which
 	// skips the zero-separation self terms of the in-block interactions.
-	var cells []gravity.Multipole
+	var cells gravity.MultipoleSoA
 	var srcs gravity.SoA
+	var ev gravity.Evaluator
 	var sx, sy, sz, ax, ay, az, pp []float64
 	for sink := 0; sink < s.NumBlocks; sink++ {
 		sb, err := s.LoadBlock(sink)
 		if err != nil {
 			return nil, err
 		}
-		cells = cells[:0]
+		cells.Reset()
 		srcs.Reset()
 		for src := 0; src < s.NumBlocks; src++ {
 			if src == sink {
@@ -256,7 +257,7 @@ func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
 			// block-level MAC against the sink block's extent
 			d := mps[src].COM.Dist(mps[sink].COM)
 			if htree.AcceptMAC(d, bmax[src]+bmax[sink], theta) {
-				cells = append(cells, mps[src])
+				cells.Push(&mps[src])
 				continue
 			}
 			// near block: stream it onto the direct-interaction list
@@ -284,7 +285,8 @@ func (s *Store) ForcePass(theta, eps float64) ([]vec.V3, error) {
 			az = append(az, 0)
 			pp = append(pp, 0)
 		}
-		gravity.EvalList(cells, &srcs, sx, sy, sz, eps, false, ax, ay, az, pp)
+		ev.Eps = eps
+		ev.EvalList(&cells, &srcs, sx, sy, sz, ax, ay, az, pp)
 		for i := 0; i < ns; i++ {
 			acc = append(acc, vec.V3{ax[i], ay[i], az[i]})
 		}

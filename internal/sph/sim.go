@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"spacesim/internal/gravity"
 	"spacesim/internal/htree"
 	"spacesim/internal/obs"
 	"spacesim/internal/vec"
@@ -296,7 +297,7 @@ func (s *Sim) computeForces() {
 	if err != nil {
 		panic("sph: gravity tree: " + err.Error())
 	}
-	gacc, _, _ := tr.AccelAllGrouped(cfg.GravTheta, cfg.GravEps, false, cfg.Workers)
+	gacc, _, _ := tr.AccelAllGrouped(cfg.GravTheta, cfg.GravEps, false, gravity.Float64, cfg.Workers)
 	for i := 0; i < n; i++ {
 		s.acc[i] = s.acc[i].Add(gacc[i])
 	}
@@ -385,7 +386,7 @@ func (s *Sim) Diag() Diagnostics {
 	if err != nil {
 		panic(err)
 	}
-	_, pot, _ := tr.AccelAllGrouped(0.3, s.Cfg.GravEps, false, s.Cfg.Workers)
+	_, pot, _ := tr.AccelAllGrouped(0.3, s.Cfg.GravEps, false, gravity.Float64, s.Cfg.Workers)
 	dense := make([]rhoi, p.N())
 	for i := 0; i < p.N(); i++ {
 		m := p.Mass[i]
